@@ -1,0 +1,36 @@
+//! Ablation benches: the real packed-bitstream decoder vs the triple-bitmap
+//! decoder on identical tiles (the §4.2 layout argument, measured on CPU).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_bf16::gen::WeightGen;
+use zipserv_bf16::Bf16;
+use zipserv_core::ablation::PackedTile;
+use zipserv_core::format::tile::EncodedTile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::ablation());
+    println!("{}", figures::kv_compression());
+
+    let weights = WeightGen::new(0.02).seed(9).outliers(0.04, 40.0).vector(64);
+    let tile: [Bf16; 64] = core::array::from_fn(|i| weights[i]);
+    let base = Bf16::from_f32(0.02).exponent().saturating_sub(4);
+    let bitmap = EncodedTile::encode(&tile, base);
+    let packed = PackedTile::encode(&tile, base);
+
+    let mut group = c.benchmark_group("ablation/tile_decode");
+    group.bench_function("triple_bitmap", |b| {
+        b.iter(|| black_box(&bitmap).decode(base));
+    });
+    group.bench_function("packed_bitstream", |b| {
+        b.iter(|| black_box(&packed).decode(base));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Compression-side throughput of every codec in the repository: TCA-TBE
+//! against the Huffman and rANS baselines (encode and decode).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zipserv_bf16::gen::WeightGen;
+use zipserv_core::TbeCompressor;
+use zipserv_entropy::huffman::ChunkedHuffman;
+use zipserv_entropy::rans::RansBlob;
+use zipserv_entropy::split::split_planes;
+
+fn bench(c: &mut Criterion) {
+    let w = WeightGen::new(0.018).seed(77).matrix(512, 512);
+    let weights = w.as_slice().to_vec();
+    let planes = split_planes(&weights);
+    let n = weights.len() as u64;
+
+    let mut group = c.benchmark_group("codec_encode");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("tca_tbe", |b| {
+        let comp = TbeCompressor::new().with_threads(1);
+        b.iter(|| comp.compress(black_box(&w)).expect("tileable"));
+    });
+    group.bench_function("huffman", |b| {
+        b.iter(|| ChunkedHuffman::compress(black_box(&planes.exponents), 8192).expect("ok"));
+    });
+    group.bench_function("rans32", |b| {
+        b.iter(|| RansBlob::compress(black_box(&planes.exponents), 32).expect("ok"));
+    });
+    group.finish();
+
+    let tbe = TbeCompressor::new().compress(&w).expect("tileable");
+    let huff = ChunkedHuffman::compress(&planes.exponents, 8192).expect("ok");
+    let rans = RansBlob::compress(&planes.exponents, 32).expect("ok");
+    let mut group = c.benchmark_group("codec_decode");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("tca_tbe", |b| b.iter(|| black_box(&tbe).decompress()));
+    group.bench_function("huffman", |b| b.iter(|| black_box(&huff).decompress().expect("ok")));
+    group.bench_function("rans32", |b| b.iter(|| black_box(&rans).decompress().expect("ok")));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 1: decoupled lossless pipelines vs the core GEMM on L40S GateUp
+//! layers. Prints the paper table, then benchmarks the pipeline model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig01());
+    c.bench_function("fig01/pipeline_sweep", |b| {
+        b.iter(figures::fig01);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

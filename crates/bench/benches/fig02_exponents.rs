@@ -1,0 +1,27 @@
+//! Figure 2: exponent statistics of LLM weights. Prints the table, then
+//! benchmarks real histogram construction over one million BF16 weights.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_bf16::gen::WeightGen;
+use zipserv_bf16::stats::{ExponentHistogram, ExponentSummary};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig02());
+    println!("{}", figures::contiguity());
+    let weights = WeightGen::new(0.018).seed(1).vector(1 << 20);
+    c.bench_function("fig02/histogram_1M", |b| {
+        b.iter(|| ExponentHistogram::from_values(black_box(&weights).iter().copied()));
+    });
+    let hist = ExponentHistogram::from_values(weights.iter().copied());
+    c.bench_function("fig02/summary", |b| {
+        b.iter(|| ExponentSummary::from_histogram(black_box(&hist)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 5: roofline / compute-intensity analysis (Equations 1–3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_gpu_sim::roofline::figure5_series;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig05());
+    c.bench_function("fig05/series", |b| {
+        b.iter(|| figure5_series(black_box(&[8, 16, 32, 64]), 1.51));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

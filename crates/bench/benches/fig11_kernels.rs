@@ -1,0 +1,19 @@
+//! Figure 11: kernel speedups over cuBLAS_TC across eleven models, four
+//! layers and three batch sizes on RTX4090 and L40S.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig11());
+    c.bench_function("fig11/full_sweep", |b| {
+        b.iter(figures::fig11);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

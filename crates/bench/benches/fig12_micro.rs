@@ -1,0 +1,24 @@
+//! Figure 12: micro-level analysis — plus a benchmark of the real
+//! lane-exact tile decoder that generates the instruction workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_bf16::gen::WeightGen;
+use zipserv_core::decompress::decode_tile_lanewise;
+use zipserv_core::TbeCompressor;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig12());
+    let w = WeightGen::new(0.018).seed(12).matrix(64, 64);
+    let tbe = TbeCompressor::new().compress(&w).expect("tileable");
+    c.bench_function("fig12/decode_tile_lanewise", |b| {
+        b.iter(|| decode_tile_lanewise(black_box(tbe.tile_view(0)), tbe.base_exp()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

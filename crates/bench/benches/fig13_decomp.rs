@@ -1,0 +1,43 @@
+//! Figure 13: standalone decompression. Prints the modeled GPU comparison,
+//! then benchmarks the *real* Rust decoders against each other: the
+//! fixed-length TCA-TBE decoder should beat the entropy-coded baselines in
+//! wall-clock CPU throughput too, for the same structural reasons.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_bf16::gen::WeightGen;
+use zipserv_core::TbeCompressor;
+use zipserv_entropy::huffman::ChunkedHuffman;
+use zipserv_entropy::rans::RansBlob;
+use zipserv_entropy::split::split_planes;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig13());
+
+    let w = WeightGen::new(0.018).seed(13).matrix(256, 1024);
+    let weights = w.as_slice().to_vec();
+    let planes = split_planes(&weights);
+
+    let tbe = TbeCompressor::new().compress(&w).expect("tileable");
+    let huff = ChunkedHuffman::compress(&planes.exponents, 8192).expect("non-empty");
+    let rans = RansBlob::compress(&planes.exponents, 32).expect("non-empty");
+
+    let mut group = c.benchmark_group("fig13/decode_262k_weights");
+    group.bench_function("tca_tbe", |b| {
+        b.iter(|| black_box(&tbe).decompress());
+    });
+    group.bench_function("huffman_dfloat11", |b| {
+        b.iter(|| black_box(&huff).decompress().expect("valid"));
+    });
+    group.bench_function("rans_dietgpu", |b| {
+        b.iter(|| black_box(&rans).decompress().expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

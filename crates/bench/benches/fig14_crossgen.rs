@@ -1,0 +1,18 @@
+//! Figure 14: cross-generation / cross-tier comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig14());
+    c.bench_function("fig14/crossgen_sweep", |b| {
+        b.iter(figures::fig14);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

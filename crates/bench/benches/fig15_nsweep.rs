@@ -1,0 +1,18 @@
+//! Figure 15: fused-vs-decoupled behaviour across N (decode → prefill).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig15());
+    c.bench_function("fig15/n_sweep", |b| {
+        b.iter(figures::fig15);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 18 / §7: training-oriented GPUs and the lossy Marlin comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fig18());
+    c.bench_function("fig18/datacenter_sweep", |b| {
+        b.iter(figures::fig18);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

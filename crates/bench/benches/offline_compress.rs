@@ -1,0 +1,30 @@
+//! §6.4: offline compression cost — measures the real TCA-TBE compressor's
+//! throughput (paper: LLaMA3.1-8B in ~2.5 min on 16 cores).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zipserv_bench::figures;
+use zipserv_bf16::gen::WeightGen;
+use zipserv_core::TbeCompressor;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::offline());
+    let w = WeightGen::new(0.018).seed(64).matrix(1024, 1024);
+    let mut group = c.benchmark_group("offline_compress");
+    group.throughput(Throughput::Elements((w.rows() * w.cols()) as u64));
+    group.bench_function("tca_tbe_1M_parallel", |b| {
+        let comp = TbeCompressor::new();
+        b.iter(|| comp.compress(black_box(&w)).expect("tileable"));
+    });
+    group.bench_function("tca_tbe_1M_single_thread", |b| {
+        let comp = TbeCompressor::new().with_threads(1);
+        b.iter(|| comp.compress(black_box(&w)).expect("tileable"));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

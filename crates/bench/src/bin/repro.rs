@@ -1,0 +1,54 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p zipserv-bench --release --bin repro -- --all
+//! cargo run -p zipserv-bench --release --bin repro -- --exp fig11 --exp fig16
+//! cargo run -p zipserv-bench --release --bin repro -- --list
+//! ```
+
+use zipserv_bench::figures::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--all] [--list] [--exp <id>]...");
+        eprintln!("experiments:");
+        for (id, _) in &experiments {
+            eprintln!("  {id}");
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &experiments {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if args.iter().any(|a| a == "--all") {
+        experiments.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(|s| s.as_str())
+            .collect()
+    };
+
+    let mut missing = Vec::new();
+    for want in &selected {
+        match experiments.iter().find(|(id, _)| id == want) {
+            Some((id, gen)) => {
+                println!("==================== {id} ====================");
+                println!("{}", gen());
+            }
+            None => missing.push(*want),
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("unknown experiments: {missing:?} (use --list)");
+        std::process::exit(1);
+    }
+}

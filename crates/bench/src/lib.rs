@@ -1,0 +1,12 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! ZipServ paper.
+//!
+//! [`figures`] holds one data-generation function per experiment; the
+//! `repro` binary prints them (`cargo run -p zipserv-bench --release --bin
+//! repro -- --all`), and the Criterion benches under `benches/` measure the
+//! real Rust implementations behind each one.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod table;

@@ -1,0 +1,184 @@
+//! Scalar math helpers implemented from scratch: the error function and a
+//! Box–Muller Gaussian sampler.
+//!
+//! The crate policy allows only the `rand` family of offline dependencies, so
+//! `erf` (needed for the Appendix-A exponent-distribution theory) and normal
+//! sampling (needed for synthetic Gaussian weights) are implemented here.
+
+use rand::Rng;
+
+/// The error function `erf(x) = 2/sqrt(pi) * ∫_0^x e^{-t²} dt`.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation, accurate to
+/// about `1.5e-7` absolute error — far below anything that matters for the
+/// exponent-histogram analysis.
+///
+/// # Example
+///
+/// ```
+/// let e = zipserv_bf16::math::erf(1.0);
+/// assert!((e - 0.8427007).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    // erf is odd: erf(-x) = -erf(x).
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    let y = 1.0 - poly * (-x * x).exp();
+    sign * y
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// The standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / core::f64::consts::SQRT_2))
+}
+
+/// Probability that `|W| ∈ [lo, hi)` for `W ~ N(0, σ²)`.
+///
+/// This is the quantity integrated in Appendix A:
+/// `P = erf(hi / (σ√2)) - erf(lo / (σ√2))`.
+pub fn abs_gaussian_band(sigma: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(sigma > 0.0 && lo >= 0.0 && hi >= lo);
+    let s = sigma * core::f64::consts::SQRT_2;
+    erf(hi / s) - erf(lo / s)
+}
+
+/// A Box–Muller sampler for `N(mean, sigma²)`.
+///
+/// Generates pairs of independent normal deviates from pairs of uniforms and
+/// caches the spare, so the amortized cost is one `ln` + one `sqrt` + one
+/// `sin`/`cos` per sample.
+#[derive(Debug, Clone, Default)]
+pub struct Gaussian {
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal deviate using `rng` for uniforms.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln(u1) finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws one deviate from `N(mean, sigma²)`.
+    pub fn sample_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (3.0, 0.9999779),
+            (-1.0, -0.8427008),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-6, "erf({x}) = {} want {want}", erf(x));
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+            assert!(erf(x) <= 1.0 && erf(x) >= -1.0);
+        }
+    }
+
+    #[test]
+    fn erfc_complements() {
+        for x in [0.0, 0.3, 1.7, 4.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((normal_cdf(-1.0) + normal_cdf(1.0) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn abs_band_total_probability() {
+        // Bands [2^x, 2^(x+1)) over all x plus the tails sum to 1.
+        let sigma = 0.02;
+        let mut total = 0.0;
+        for x in -60..10 {
+            total += abs_gaussian_band(sigma, 2f64.powi(x), 2f64.powi(x + 1));
+        }
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = Gaussian::new();
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let z = g.sample(&mut rng);
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_scaled() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = Gaussian::new();
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += g.sample_scaled(&mut rng, 3.0, 0.5);
+        }
+        assert!((sum / n as f64 - 3.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,316 @@
+//! Dense row-major matrices and tile iteration.
+
+use crate::Bf16;
+use core::fmt;
+
+/// Side length of the base FragTile used by the TCA-TBE format (8×8).
+pub const TILE_DIM: usize = 8;
+
+/// A dense row-major matrix.
+///
+/// The weight matrices of the paper are `W ∈ R^{M×K}` with `M` output rows
+/// and `K` input columns; `Matrix` stores them row-major so that an 8×8 tile
+/// at `(tr, tc)` covers rows `tr*8..tr*8+8` and columns `tc*8..tc*8+8`.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_bf16::{Bf16, Matrix};
+///
+/// let m = Matrix::from_fn(4, 4, |r, c| Bf16::from_f32((r * 4 + c) as f32));
+/// assert_eq!(m[(2, 3)].to_f32(), 11.0);
+/// assert_eq!(m.rows(), 4);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T = Bf16> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a matrix filled with the default element value.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the matrix empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A view of the underlying row-major element slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// A mutable view of the underlying row-major element slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major element vector.
+    #[inline]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor returning `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Option<&T> {
+        if r < self.rows && c < self.cols {
+            Some(&self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Number of 8×8 tiles along the row dimension (requires divisibility).
+    pub fn tile_rows(&self) -> usize {
+        self.rows / TILE_DIM
+    }
+
+    /// Number of 8×8 tiles along the column dimension (requires divisibility).
+    pub fn tile_cols(&self) -> usize {
+        self.cols / TILE_DIM
+    }
+
+    /// Returns true if both dimensions are multiples of the 8×8 tile size.
+    pub fn is_tileable(&self) -> bool {
+        self.rows.is_multiple_of(TILE_DIM) && self.cols.is_multiple_of(TILE_DIM)
+    }
+
+    /// Copies the 8×8 tile at tile coordinates `(tr, tc)` into a flat array
+    /// in row-major order (64 elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is out of bounds.
+    pub fn tile(&self, tr: usize, tc: usize) -> [T; 64]
+    where
+        T: Default,
+    {
+        assert!(tr < self.tile_rows() && tc < self.tile_cols(), "tile out of bounds");
+        let mut out = [T::default(); 64];
+        for r in 0..TILE_DIM {
+            let src = (tr * TILE_DIM + r) * self.cols + tc * TILE_DIM;
+            out[r * TILE_DIM..(r + 1) * TILE_DIM].copy_from_slice(&self.data[src..src + TILE_DIM]);
+        }
+        out
+    }
+
+    /// Writes a flat 64-element row-major tile back at `(tr, tc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is out of bounds.
+    pub fn set_tile(&mut self, tr: usize, tc: usize, tile: &[T; 64]) {
+        assert!(tr < self.tile_rows() && tc < self.tile_cols(), "tile out of bounds");
+        for r in 0..TILE_DIM {
+            let dst = (tr * TILE_DIM + r) * self.cols + tc * TILE_DIM;
+            self.data[dst..dst + TILE_DIM].copy_from_slice(&tile[r * TILE_DIM..(r + 1) * TILE_DIM]);
+        }
+    }
+
+    /// Iterate over all 8×8 tiles in row-major tile order.
+    pub fn tiles(&self) -> TileIter<'_, T> {
+        TileIter {
+            matrix: self,
+            next: 0,
+        }
+    }
+}
+
+impl<T: Copy> core::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Copy> core::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+/// Iterator over the 8×8 tiles of a matrix, produced by [`Matrix::tiles`].
+///
+/// Yields `(tile_row, tile_col, [T; 64])` in row-major tile order.
+#[derive(Debug)]
+pub struct TileIter<'a, T> {
+    matrix: &'a Matrix<T>,
+    next: usize,
+}
+
+impl<'a, T: Copy + Default> Iterator for TileIter<'a, T> {
+    type Item = (usize, usize, [T; 64]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let total = self.matrix.tile_rows() * self.matrix.tile_cols();
+        if self.next >= total {
+            return None;
+        }
+        let tc_count = self.matrix.tile_cols();
+        let tr = self.next / tc_count;
+        let tc = self.next % tc_count;
+        self.next += 1;
+        Some((tr, tc, self.matrix.tile(tr, tc)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = self.matrix.tile_rows() * self.matrix.tile_cols();
+        let rem = total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a, T: Copy + Default> ExactSizeIterator for TileIter<'a, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_index() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as i32);
+        assert_eq!(m[(0, 0)], 0);
+        assert_eq!(m[(2, 4)], 24);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::<i32>::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn row_access() {
+        let m = Matrix::from_fn(2, 3, |r, c| r * 3 + c);
+        assert_eq!(m.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn get_returns_none_out_of_bounds() {
+        let m = Matrix::<u8>::zeros(2, 2);
+        assert!(m.get(1, 1).is_some());
+        assert!(m.get(2, 0).is_none());
+        assert!(m.get(0, 2).is_none());
+    }
+
+    #[test]
+    fn tile_roundtrip() {
+        let mut m = Matrix::from_fn(16, 24, |r, c| (r * 24 + c) as i32);
+        let t = m.tile(1, 2);
+        // tile (1,2) top-left element is row 8, col 16.
+        assert_eq!(t[0], 8 * 24 + 16);
+        assert_eq!(t[63], 15 * 24 + 23);
+        let mut m2 = Matrix::zeros(16, 24);
+        m2.set_tile(1, 2, &t);
+        assert_eq!(m2[(8, 16)], 8 * 24 + 16);
+        assert_eq!(m2[(15, 23)], 15 * 24 + 23);
+        // Round-trip: rewrite all tiles reproduces the matrix.
+        let tiles: Vec<_> = m.tiles().collect();
+        assert_eq!(tiles.len(), 2 * 3);
+        for (tr, tc, tile) in tiles {
+            m.set_tile(tr, tc, &tile);
+        }
+        assert_eq!(m, Matrix::from_fn(16, 24, |r, c| (r * 24 + c) as i32));
+    }
+
+    #[test]
+    fn tileable_check() {
+        assert!(Matrix::<i32>::zeros(8, 16).is_tileable());
+        assert!(!Matrix::<i32>::zeros(9, 16).is_tileable());
+        assert!(!Matrix::<i32>::zeros(8, 12).is_tileable());
+    }
+
+    #[test]
+    fn tile_iter_is_exact_size() {
+        let m = Matrix::<i32>::zeros(32, 16);
+        let it = m.tiles();
+        assert_eq!(it.len(), 4 * 2);
+        assert_eq!(it.count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1, 2, 3]);
+    }
+}

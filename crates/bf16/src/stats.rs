@@ -1,0 +1,436 @@
+//! Exponent-field statistics: histograms, entropy, top-k windows and the
+//! contiguity survey of §3.1 of the paper.
+
+use crate::{Bf16, Matrix};
+
+/// A histogram over the 256 possible BF16 exponent field values.
+///
+/// This is the "global exponent analysis" of Algorithm 1, Phase I.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_bf16::{Bf16, stats::ExponentHistogram};
+///
+/// let hist = ExponentHistogram::from_values(
+///     [1.0f32, 2.0, 2.5, 0.25].into_iter().map(Bf16::from_f32),
+/// );
+/// assert_eq!(hist.total(), 4);
+/// assert_eq!(hist.count(128), 2); // 2.0 and 2.5 share exponent 128
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExponentHistogram {
+    counts: [u64; 256],
+    total: u64,
+}
+
+impl Default for ExponentHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExponentHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ExponentHistogram {
+            counts: [0; 256],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from an iterator of BF16 values.
+    pub fn from_values(values: impl IntoIterator<Item = Bf16>) -> Self {
+        let mut h = Self::new();
+        for v in values {
+            h.push(v);
+        }
+        h
+    }
+
+    /// Builds a histogram from a whole matrix.
+    pub fn from_matrix(m: &Matrix<Bf16>) -> Self {
+        Self::from_values(m.as_slice().iter().copied())
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn push(&mut self, v: Bf16) {
+        self.counts[v.exponent() as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ExponentHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Count for one raw exponent value.
+    #[inline]
+    pub fn count(&self, exponent: u8) -> u64 {
+        self.counts[exponent as usize]
+    }
+
+    /// Total number of recorded values.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of values with this exponent (0 when the histogram is empty).
+    pub fn frequency(&self, exponent: u8) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[exponent as usize] as f64 / self.total as f64
+        }
+    }
+
+    /// Shannon entropy of the exponent distribution, in bits.
+    ///
+    /// The paper reports 2.57–2.74 bits for contemporary LLMs against the
+    /// 8-bit field allocation.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        let mut h = 0.0;
+        for &c in &self.counts {
+            if c > 0 {
+                let p = c as f64 / n;
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// The exponents sorted by descending frequency (ties by exponent value).
+    pub fn by_frequency(&self) -> Vec<(u8, u64)> {
+        let mut v: Vec<(u8, u64)> = (0u16..256)
+            .map(|e| (e as u8, self.counts[e as usize]))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Fraction of weights covered by the `k` most frequent exponents
+    /// (not necessarily contiguous).
+    pub fn top_k_coverage(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.by_frequency().iter().take(k).map(|&(_, c)| c).sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// Selects the contiguous window of `k` consecutive exponent values that
+    /// maximizes coverage — `SelectTop7ConsecutiveExponents` in Algorithm 1
+    /// (with `k = 7`).
+    ///
+    /// Returns the window and its coverage fraction. The window start is the
+    /// smallest exponent in the range. An empty histogram yields a window at
+    /// 0 with zero coverage.
+    pub fn best_contiguous_window(&self, k: usize) -> ContiguousWindow {
+        assert!((1..=256).contains(&k), "window size must be in 1..=256");
+        let mut sum: u64 = self.counts[..k].iter().sum();
+        let mut best_sum = sum;
+        let mut best_start = 0usize;
+        for start in 1..=(256 - k) {
+            sum = sum - self.counts[start - 1] + self.counts[start + k - 1];
+            if sum > best_sum {
+                best_sum = sum;
+                best_start = start;
+            }
+        }
+        ContiguousWindow {
+            start: best_start as u8,
+            len: k as u8,
+            coverage: if self.total == 0 {
+                0.0
+            } else {
+                best_sum as f64 / self.total as f64
+            },
+        }
+    }
+
+    /// Whether the `k` most frequent exponents form a numerically contiguous
+    /// run — the "exponent contiguity" property of §3.1 (true for 99.6% of
+    /// the 3,875 surveyed matrices).
+    pub fn top_k_is_contiguous(&self, k: usize) -> bool {
+        let top: Vec<u8> = self.by_frequency().iter().take(k).map(|&(e, _)| e).collect();
+        if top.len() < k {
+            return false;
+        }
+        let min = *top.iter().min().expect("k >= 1");
+        let max = *top.iter().max().expect("k >= 1");
+        (max - min) as usize == k - 1
+    }
+
+    /// The most frequent exponent value, or `None` for an empty histogram.
+    pub fn mode(&self) -> Option<u8> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(self.by_frequency()[0].0)
+    }
+}
+
+/// A contiguous exponent window `[start, start + len)` with its coverage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContiguousWindow {
+    /// Smallest exponent in the window.
+    pub start: u8,
+    /// Number of consecutive exponent values in the window.
+    pub len: u8,
+    /// Fraction of all weights whose exponent falls inside the window.
+    pub coverage: f64,
+}
+
+impl ContiguousWindow {
+    /// The `BaseExp` recorded by the offline compressor:
+    /// `min(window) - 1`, saturating at 0.
+    pub fn base_exp(&self) -> u8 {
+        self.start.saturating_sub(1)
+    }
+
+    /// Does `exponent` fall inside the window?
+    #[inline]
+    pub fn contains(&self, exponent: u8) -> bool {
+        exponent >= self.start && (exponent as u16) < self.start as u16 + self.len as u16
+    }
+}
+
+/// Summary statistics for one weight matrix, mirroring Figure 2 / §3.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExponentSummary {
+    /// Shannon entropy of the exponent field, in bits.
+    pub entropy_bits: f64,
+    /// Coverage of the 3 most frequent exponents.
+    pub top3_coverage: f64,
+    /// Coverage of the 7 most frequent exponents.
+    pub top7_coverage: f64,
+    /// Coverage of the best contiguous 7-exponent window.
+    pub window7_coverage: f64,
+    /// Whether the top-7 exponents are numerically contiguous.
+    pub top7_contiguous: bool,
+    /// Theoretical lossless compression ratio `16 / (8 + entropy)`.
+    pub theoretical_ratio: f64,
+}
+
+impl ExponentSummary {
+    /// Computes the summary from a histogram.
+    pub fn from_histogram(h: &ExponentHistogram) -> Self {
+        let entropy = h.entropy_bits();
+        ExponentSummary {
+            entropy_bits: entropy,
+            top3_coverage: h.top_k_coverage(3),
+            top7_coverage: h.top_k_coverage(7),
+            window7_coverage: h.best_contiguous_window(7).coverage,
+            top7_contiguous: h.top_k_is_contiguous(7),
+            theoretical_ratio: 16.0 / (8.0 + entropy),
+        }
+    }
+}
+
+/// Result of the §3.1 contiguity survey across many matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContiguitySurvey {
+    /// Number of matrices surveyed.
+    pub matrices: usize,
+    /// Fraction whose top-7 exponents are numerically contiguous (paper: 99.6%).
+    pub contiguous_fraction: f64,
+    /// Mean coverage of the best contiguous 7-window (paper: 97.1%).
+    pub mean_window_coverage: f64,
+}
+
+/// Surveys top-7 contiguity over a collection of per-matrix histograms.
+pub fn contiguity_survey<'a>(
+    histograms: impl IntoIterator<Item = &'a ExponentHistogram>,
+) -> ContiguitySurvey {
+    let mut matrices = 0usize;
+    let mut contiguous = 0usize;
+    let mut coverage_sum = 0.0;
+    for h in histograms {
+        matrices += 1;
+        if h.top_k_is_contiguous(7) {
+            contiguous += 1;
+        }
+        coverage_sum += h.best_contiguous_window(7).coverage;
+    }
+    ContiguitySurvey {
+        matrices,
+        contiguous_fraction: if matrices == 0 {
+            0.0
+        } else {
+            contiguous as f64 / matrices as f64
+        },
+        mean_window_coverage: if matrices == 0 {
+            0.0
+        } else {
+            coverage_sum / matrices as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_from_exponents(exps: &[(u8, u64)]) -> ExponentHistogram {
+        let mut h = ExponentHistogram::new();
+        for &(e, n) in exps {
+            for _ in 0..n {
+                h.push(Bf16::from_parts(0, e as u16, 0));
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn count_and_total() {
+        let h = hist_from_exponents(&[(120, 5), (121, 3)]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.count(120), 5);
+        assert_eq!(h.count(121), 3);
+        assert_eq!(h.count(122), 0);
+        assert!((h.frequency(120) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_uniform_two_symbols_is_one_bit() {
+        let h = hist_from_exponents(&[(100, 10), (101, 10)]);
+        assert!((h.entropy_bits() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_single_symbol_is_zero() {
+        let h = hist_from_exponents(&[(100, 42)]);
+        assert_eq!(h.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = ExponentHistogram::new();
+        assert_eq!(h.entropy_bits(), 0.0);
+        assert_eq!(h.top_k_coverage(7), 0.0);
+        assert_eq!(h.mode(), None);
+        let w = h.best_contiguous_window(7);
+        assert_eq!(w.coverage, 0.0);
+    }
+
+    #[test]
+    fn best_window_finds_peak() {
+        // Peak at 118..125, with an outlier far away.
+        let h = hist_from_exponents(&[
+            (118, 10),
+            (119, 30),
+            (120, 80),
+            (121, 100),
+            (122, 70),
+            (123, 25),
+            (124, 8),
+            (200, 5),
+        ]);
+        let w = h.best_contiguous_window(7);
+        assert_eq!(w.start, 118);
+        assert_eq!(w.len, 7);
+        assert!((w.coverage - 323.0 / 328.0).abs() < 1e-12);
+        assert_eq!(w.base_exp(), 117);
+        assert!(w.contains(118));
+        assert!(w.contains(124));
+        assert!(!w.contains(125));
+        assert!(!w.contains(117));
+    }
+
+    #[test]
+    fn window_at_boundary() {
+        let h = hist_from_exponents(&[(0, 10), (1, 10), (255, 1)]);
+        let w = h.best_contiguous_window(2);
+        assert_eq!(w.start, 0);
+        assert_eq!(w.base_exp(), 0, "base exp saturates at zero");
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        let contiguous = hist_from_exponents(&[
+            (118, 5),
+            (119, 6),
+            (120, 9),
+            (121, 10),
+            (122, 8),
+            (123, 7),
+            (124, 4),
+            (60, 1),
+        ]);
+        assert!(contiguous.top_k_is_contiguous(7));
+
+        let gapped = hist_from_exponents(&[
+            (118, 5),
+            (119, 6),
+            (120, 9),
+            (121, 10),
+            (122, 8),
+            (123, 7),
+            (150, 20), // intruder breaks contiguity
+            (124, 4),
+        ]);
+        assert!(!gapped.top_k_is_contiguous(7));
+    }
+
+    #[test]
+    fn mode_is_most_frequent() {
+        let h = hist_from_exponents(&[(120, 5), (121, 9), (122, 2)]);
+        assert_eq!(h.mode(), Some(121));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = hist_from_exponents(&[(100, 5)]);
+        let b = hist_from_exponents(&[(100, 2), (101, 3)]);
+        a.merge(&b);
+        assert_eq!(a.count(100), 7);
+        assert_eq!(a.count(101), 3);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn survey_aggregates() {
+        let a = hist_from_exponents(&[
+            (118, 10),
+            (119, 10),
+            (120, 10),
+            (121, 10),
+            (122, 10),
+            (123, 10),
+            (124, 10),
+        ]);
+        let b = hist_from_exponents(&[(100, 50), (150, 50), (101, 10), (102, 9), (103, 8), (104, 7), (105, 6)]);
+        let s = contiguity_survey([&a, &b]);
+        assert_eq!(s.matrices, 2);
+        assert!((s.contiguous_fraction - 0.5).abs() < 1e-12);
+        assert!(s.mean_window_coverage > 0.0 && s.mean_window_coverage <= 1.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let h = hist_from_exponents(&[
+            (118, 100),
+            (119, 300),
+            (120, 800),
+            (121, 1000),
+            (122, 700),
+            (123, 250),
+            (124, 80),
+            (90, 30),
+        ]);
+        let s = ExponentSummary::from_histogram(&h);
+        assert!(s.top7_coverage >= s.top3_coverage);
+        assert!(s.window7_coverage <= s.top7_coverage + 1e-12);
+        assert!(s.theoretical_ratio > 1.0);
+        assert!(s.top7_contiguous);
+    }
+}

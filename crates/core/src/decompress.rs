@@ -1,0 +1,179 @@
+//! The thread-local decompressor (Algorithm 2).
+//!
+//! [`decode_tile_lanewise`] reproduces the GPU decode semantics exactly:
+//! 32 simulated lanes each reconstruct the two elements of their Tensor-Core
+//! fragment slot using (1) the spatial indicator `B1|B2|B3`, (2) popcount
+//! dynamic addressing, and (3) implicit base-plus-code exponent lookup.
+//! [`decompress`] applies it across the whole matrix. A per-tile
+//! [`DecodeCost`] records the instruction mix the GPU model prices.
+
+use crate::format::fragment::{fallback_index, high_freq_index, lane_positions, LANES};
+use crate::format::layout::{block_sequence, TbeMatrix, TileView};
+use crate::format::FRAG_ELEMS;
+use zipserv_bf16::{Bf16, Matrix};
+
+/// Decodes one FragTile exactly as a warp would: lane by lane, register
+/// pair by register pair.
+///
+/// Returns the 64 elements in row-major tile order.
+pub fn decode_tile_lanewise(view: TileView<'_>, base_exp: u8) -> [Bf16; FRAG_ELEMS] {
+    // Step 1: spatial indicator construction (one warp-wide OR).
+    let indicator = view.bitmaps[0] | view.bitmaps[1] | view.bitmaps[2];
+
+    let mut out = [Bf16::ZERO; FRAG_ELEMS];
+    for lane in 0..LANES {
+        let (p0, p1) = lane_positions(lane);
+        for p in [p0, p1] {
+            // Step 2: parallel element decompression.
+            if (indicator >> p) & 1 == 1 {
+                // Case A: high-frequency path.
+                let idx = high_freq_index(indicator, p);
+                let packed = view.high_freq[idx];
+                // Reconstruct the 3-bit code from the bit planes.
+                let c = (((view.bitmaps[0] >> p) & 1)
+                    | (((view.bitmaps[1] >> p) & 1) << 1)
+                    | (((view.bitmaps[2] >> p) & 1) << 2)) as u8;
+                // Implicit lookup: exponent = base + code.
+                let e = base_exp.wrapping_add(c);
+                out[p] = Bf16::from_packed(packed, e);
+            } else {
+                // Case B: fallback path.
+                let idx = fallback_index(indicator, p);
+                out[p] = Bf16::from_bits(view.fallback[idx]);
+            }
+        }
+    }
+    out
+}
+
+/// Decompresses a whole [`TbeMatrix`] bit-exactly.
+pub fn decompress(tbe: &TbeMatrix) -> Matrix<Bf16> {
+    let mut out = Matrix::zeros(tbe.rows(), tbe.cols());
+    let blocks = block_sequence(tbe.rows(), tbe.cols());
+    let mut seq = 0usize;
+    for block in &blocks {
+        for &(tr, tc) in block {
+            let tile = decode_tile_lanewise(tbe.tile_view(seq), tbe.base_exp());
+            out.set_tile(tr, tc, &tile);
+            seq += 1;
+        }
+    }
+    out
+}
+
+/// Per-element instruction cost of the Algorithm-2 decode path, used to
+/// build GPU kernel profiles (Figure 12's LOP3/IADD/POPC workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeCost {
+    /// Three-input logic ops per element (plane extract + BF16 assembly).
+    pub lop3: u64,
+    /// Integer adds per element (mask build + implicit lookup + indexing).
+    pub iadd: u64,
+    /// Population counts per element (dynamic addressing).
+    pub popc: u64,
+    /// Shifts per element (bit extraction).
+    pub shift: u64,
+    /// Selects per element (path predicate).
+    pub sel: u64,
+    /// Shared-memory transactions per FragTile (bitmaps + value slices).
+    pub lds_per_tile: u64,
+}
+
+impl DecodeCost {
+    /// The calibrated per-element cost of the TCA-TBE decompressor.
+    ///
+    /// Counts follow Algorithm 2 directly: one popcount for addressing, two
+    /// shifts + two LOP3 to gather the codeword bits, one LOP3 to merge
+    /// sign/mantissa/exponent, two IADD for the mask and implicit lookup,
+    /// one select for the A/B path.
+    pub const TCA_TBE: DecodeCost = DecodeCost {
+        lop3: 3,
+        iadd: 2,
+        popc: 1,
+        shift: 2,
+        sel: 1,
+        lds_per_tile: 5,
+    };
+
+    /// Total priced scalar ops per element (excluding shared-memory).
+    pub fn ops_per_element(&self) -> u64 {
+        self.lop3 + self.iadd + self.popc + self.shift + self.sel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::TbeCompressor;
+    use crate::format::tile::EncodedTile;
+    use zipserv_bf16::gen::WeightGen;
+
+    fn encode_view(tile: &EncodedTile) -> TileView<'_> {
+        TileView {
+            bitmaps: &tile.bitmaps,
+            high_freq: &tile.high_freq,
+            fallback: &tile.fallback,
+        }
+    }
+
+    #[test]
+    fn lanewise_decode_matches_reference_decode() {
+        let weights: [Bf16; 64] = core::array::from_fn(|i| {
+            if i % 7 == 0 {
+                Bf16::from_f32(1e30)
+            } else {
+                Bf16::from_f32(0.01 + i as f32 * 0.002)
+            }
+        });
+        let base = Bf16::from_f32(0.02).exponent() - 4;
+        let enc = EncodedTile::encode(&weights, base);
+        let lanewise = decode_tile_lanewise(encode_view(&enc), base);
+        let reference = enc.decode(base);
+        assert_eq!(lanewise, reference);
+        assert_eq!(lanewise, weights);
+    }
+
+    #[test]
+    fn paper_worked_example_thread_19() {
+        // §4.3.2: thread 19's a0 is position 38. Build a tile where position
+        // 38 carries codeword 101 (5) with base exponent 115 -> exponent 120.
+        let mut weights = [Bf16::from_bits(0); 64];
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w = if i == 38 {
+                Bf16::from_parts(0, 120, 0x55)
+            } else {
+                Bf16::from_bits(0x0042) // exponent 0 -> fallback
+            };
+        }
+        let enc = EncodedTile::encode(&weights, 115);
+        assert_eq!(enc.codeword(38), 0b101);
+        let dec = decode_tile_lanewise(encode_view(&enc), 115);
+        assert_eq!(dec[38].exponent(), 120);
+        assert_eq!(dec, weights);
+    }
+
+    #[test]
+    fn full_matrix_decompress_is_bit_exact() {
+        let w = WeightGen::new(0.018).seed(21).matrix(192, 320);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let out = decompress(&tbe);
+        assert_eq!(out, w);
+    }
+
+    #[test]
+    fn ragged_block_shapes_roundtrip() {
+        // Shapes that exercise partial BlockTiles and TensorCoreTiles.
+        for (r, c) in [(8, 8), (8, 64), (64, 8), (72, 40), (136, 200)] {
+            let w = WeightGen::new(0.02).seed(5).matrix(r, c);
+            let tbe = TbeCompressor::new().compress(&w).unwrap();
+            assert_eq!(decompress(&tbe), w, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn decode_cost_constants() {
+        let c = DecodeCost::TCA_TBE;
+        assert_eq!(c.ops_per_element(), 9);
+        assert!(c.popc == 1 && c.lds_per_tile == 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the TCA-TBE pipeline.
+
+use core::fmt;
+
+/// Errors produced by TCA-TBE compression and decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TbeError {
+    /// The matrix dimensions are not multiples of the 8×8 FragTile.
+    NotTileable {
+        /// Offending row count.
+        rows: usize,
+        /// Offending column count.
+        cols: usize,
+    },
+    /// The matrix contains no elements.
+    Empty,
+    /// A serialized representation was internally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbeError::NotTileable { rows, cols } => write!(
+                f,
+                "matrix {rows}x{cols} is not a multiple of the 8x8 FragTile"
+            ),
+            TbeError::Empty => write!(f, "matrix contains no elements"),
+            TbeError::Corrupt(what) => write!(f, "corrupt TCA-TBE data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TbeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TbeError::NotTileable { rows: 9, cols: 16 };
+        assert!(e.to_string().contains("9x16"));
+        assert!(TbeError::Empty.to_string().contains("no elements"));
+        assert!(TbeError::Corrupt("bad offsets").to_string().contains("bad offsets"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Tensor-Core fragment ↔ lane mapping.
+//!
+//! In the `mma.sync.m16n8k16` operand layout, a warp of 32 lanes holds an
+//! 8×8 FragTile with lane `i` owning the `.bf16x2` register pair at
+//! positions `2i` and `2i+1` (row-major within the tile). The decompressor
+//! (§4.3.2) is built around exactly this assignment: each lane
+//! reconstructs only its own two elements.
+
+use super::FRAG_ELEMS;
+
+/// Lanes per warp.
+pub const LANES: usize = 32;
+
+/// The two row-major tile positions owned by `lane`.
+///
+/// # Panics
+///
+/// Panics if `lane >= 32`.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_core::format::fragment::lane_positions;
+///
+/// assert_eq!(lane_positions(0), (0, 1));
+/// assert_eq!(lane_positions(19), (38, 39)); // the paper's Thread-19 example
+/// ```
+#[inline]
+pub fn lane_positions(lane: usize) -> (usize, usize) {
+    assert!(lane < LANES, "lane out of range");
+    (2 * lane, 2 * lane + 1)
+}
+
+/// The lane that owns tile position `p`.
+///
+/// # Panics
+///
+/// Panics if `p >= 64`.
+#[inline]
+pub fn owner_lane(p: usize) -> usize {
+    assert!(p < FRAG_ELEMS, "position out of range");
+    p / 2
+}
+
+/// Popcount-prefix mask for position `p`: bits `[0, p)` set — the mask used
+/// in Algorithm 2's dynamic addressing (`mask = (1 << p) - 1`).
+#[inline]
+pub fn prefix_mask(p: usize) -> u64 {
+    debug_assert!(p <= 64);
+    if p >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << p) - 1
+    }
+}
+
+/// High-frequency buffer index for position `p` given the indicator mask:
+/// the number of compressed elements before `p`.
+#[inline]
+pub fn high_freq_index(indicator: u64, p: usize) -> usize {
+    (indicator & prefix_mask(p)).count_ones() as usize
+}
+
+/// Fallback buffer index for position `p` given the indicator mask: the
+/// number of fallback elements before `p` (Algorithm 2 line 17:
+/// `idx_L = p − idx_H`).
+#[inline]
+pub fn fallback_index(indicator: u64, p: usize) -> usize {
+    p - high_freq_index(indicator, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_cover_the_tile_exactly_once() {
+        let mut seen = [false; FRAG_ELEMS];
+        for lane in 0..LANES {
+            let (a, b) = lane_positions(lane);
+            assert!(!seen[a] && !seen[b]);
+            seen[a] = true;
+            seen[b] = true;
+            assert_eq!(owner_lane(a), lane);
+            assert_eq!(owner_lane(b), lane);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn paper_thread_examples() {
+        // §4.3.2: Thread 19 inspects bit 38 (2×19); Thread 6 inspects bit 12.
+        assert_eq!(lane_positions(19).0, 38);
+        assert_eq!(lane_positions(6).0, 12);
+    }
+
+    #[test]
+    fn prefix_masks() {
+        assert_eq!(prefix_mask(0), 0);
+        assert_eq!(prefix_mask(1), 1);
+        assert_eq!(prefix_mask(12), 0xFFF);
+        assert_eq!(prefix_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn addressing_splits_positions() {
+        // Indicator with even positions compressed.
+        let ind: u64 = 0x5555_5555_5555_5555;
+        // Position 12 (even, compressed): 6 compressed positions before it.
+        assert_eq!(high_freq_index(ind, 12), 6);
+        // Position 13 (odd, fallback): 6 fallback positions before it (1,3,..,11).
+        assert_eq!(fallback_index(ind, 13), 6);
+        // Index pairs always satisfy idx_H + idx_L == p.
+        for p in 0..64 {
+            assert_eq!(high_freq_index(ind, p) + fallback_index(ind, p), p);
+        }
+    }
+
+    #[test]
+    fn all_compressed_indicator() {
+        let ind = u64::MAX;
+        for p in 0..64 {
+            assert_eq!(high_freq_index(ind, p), p);
+            assert_eq!(fallback_index(ind, p), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn lane_bounds() {
+        let _ = lane_positions(32);
+    }
+}

@@ -1,0 +1,22 @@
+//! The TCA-TBE data format: tiles, bit-plane bitmaps, fragment mapping and
+//! the matrix-level layout.
+
+pub mod archive;
+pub mod fragment;
+pub mod layout;
+pub mod serialize;
+pub mod tile;
+
+/// Side length of the base FragTile (matches the smallest Tensor-Core
+/// operand fragment).
+pub const FRAG_DIM: usize = 8;
+/// Elements per FragTile.
+pub const FRAG_ELEMS: usize = FRAG_DIM * FRAG_DIM;
+/// Side length of a TensorCoreTile (the `m16n8k16` operand granularity).
+pub const TC_DIM: usize = 16;
+/// Side length of a BlockTile (processed by one thread block).
+pub const BLOCK_DIM: usize = 64;
+/// Number of bit planes (3-bit codewords).
+pub const BIT_PLANES: usize = 3;
+/// Codeword window size: codes 001–111 map to 7 consecutive exponents.
+pub const WINDOW: usize = 7;

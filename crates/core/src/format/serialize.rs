@@ -1,0 +1,184 @@
+//! On-disk serialization of compressed models.
+//!
+//! The offline compressor writes `.ztbe` blobs that the inference engine
+//! maps at load time (§4.1: "the resulting compressed model is then loaded
+//! onto the GPU"). The format is a little-endian sectioned container:
+//!
+//! ```text
+//! magic "ZTBE" | version u16 | base_exp u8 | pad u8
+//! rows u64 | cols u64
+//! n_tiles u64    | 3 x u64 bitmaps per tile
+//! n_hf u64       | u8 payload (padded as stored)
+//! n_fb u64       | u16 payload
+//! n_blocks u64   | (u32 hf, u32 fb, u32 tiles) per block
+//! checksum u64   (FNV-1a over everything before it)
+//! ```
+
+use super::layout::{BlockOffset, TbeMatrix};
+use crate::error::TbeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"ZTBE";
+const VERSION: u16 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Serializes a compressed matrix to its on-disk representation.
+pub fn to_bytes(m: &TbeMatrix) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u8(m.base_exp());
+    out.put_u8(0);
+    out.put_u64_le(m.rows() as u64);
+    out.put_u64_le(m.cols() as u64);
+
+    let (bitmaps, high_freq, fallback, blocks) = m.raw_parts();
+    out.put_u64_le(bitmaps.len() as u64);
+    for planes in bitmaps {
+        for &p in planes {
+            out.put_u64_le(p);
+        }
+    }
+    out.put_u64_le(high_freq.len() as u64);
+    out.put_slice(high_freq);
+    out.put_u64_le(fallback.len() as u64);
+    for &v in fallback {
+        out.put_u16_le(v);
+    }
+    out.put_u64_le(blocks.len() as u64);
+    for (off, tiles) in blocks {
+        out.put_u32_le(off.high_freq);
+        out.put_u32_le(off.fallback);
+        out.put_u32_le(tiles);
+    }
+    let checksum = fnv1a(&out);
+    out.put_u64_le(checksum);
+    out.freeze()
+}
+
+/// Deserializes a `.ztbe` blob.
+///
+/// # Errors
+///
+/// Returns [`TbeError::Corrupt`] on a bad magic, version, truncated
+/// payload or checksum mismatch.
+pub fn from_bytes(bytes: &[u8]) -> Result<TbeMatrix, TbeError> {
+    const E: TbeError = TbeError::Corrupt("truncated TCA-TBE blob");
+    if bytes.len() < 8 + 16 + 8 {
+        return Err(E);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let want = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != want {
+        return Err(TbeError::Corrupt("checksum mismatch"));
+    }
+    let mut buf = body;
+    let mut take = |n: usize| -> Result<&[u8], TbeError> {
+        if buf.remaining() < n {
+            return Err(E);
+        }
+        let (head, rest) = buf.split_at(n);
+        buf = rest;
+        Ok(head)
+    };
+
+    if take(4)? != MAGIC {
+        return Err(TbeError::Corrupt("bad magic"));
+    }
+    let version = u16::from_le_bytes(take(2)?.try_into().expect("2"));
+    if version != VERSION {
+        return Err(TbeError::Corrupt("unsupported version"));
+    }
+    let base_exp = take(1)?[0];
+    take(1)?; // pad
+    let rows = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+    let cols = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+
+    let n_tiles = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+    let mut bitmaps = Vec::with_capacity(n_tiles);
+    for _ in 0..n_tiles {
+        let mut planes = [0u64; 3];
+        for p in planes.iter_mut() {
+            *p = u64::from_le_bytes(take(8)?.try_into().expect("8"));
+        }
+        bitmaps.push(planes);
+    }
+    let n_hf = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+    let high_freq = take(n_hf)?.to_vec();
+    let n_fb = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+    let fb_raw = take(n_fb * 2)?;
+    let fallback: Vec<u16> = fb_raw
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes(c.try_into().expect("2")))
+        .collect();
+    let n_blocks = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let hf = u32::from_le_bytes(take(4)?.try_into().expect("4"));
+        let fb = u32::from_le_bytes(take(4)?.try_into().expect("4"));
+        let tiles = u32::from_le_bytes(take(4)?.try_into().expect("4"));
+        blocks.push((
+            BlockOffset {
+                high_freq: hf,
+                fallback: fb,
+            },
+            tiles,
+        ));
+    }
+    TbeMatrix::from_raw_parts(rows, cols, base_exp, bitmaps, high_freq, fallback, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::TbeCompressor;
+    use zipserv_bf16::gen::WeightGen;
+
+    #[test]
+    fn roundtrip() {
+        let w = WeightGen::new(0.018).seed(55).matrix(128, 192);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let bytes = to_bytes(&tbe);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, tbe);
+        assert_eq!(back.decompress(), w);
+    }
+
+    #[test]
+    fn serialized_size_tracks_stats() {
+        let w = WeightGen::new(0.018).seed(56).matrix(256, 256);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let bytes = to_bytes(&tbe);
+        let stats = tbe.stats().compressed_bytes();
+        let rel = (bytes.len() as f64 - stats as f64).abs() / stats as f64;
+        assert!(rel < 0.02, "file {} vs stats {stats}", bytes.len());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let w = WeightGen::new(0.018).seed(57).matrix(64, 64);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let mut bytes = to_bytes(&tbe).to_vec();
+        // Flip a payload bit.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(from_bytes(&bytes), Err(TbeError::Corrupt(_))));
+        // Truncate.
+        assert!(matches!(
+            from_bytes(&to_bytes(&tbe)[..20]),
+            Err(TbeError::Corrupt(_))
+        ));
+        // Bad magic.
+        let mut bad = to_bytes(&tbe).to_vec();
+        bad[0] = b'X';
+        assert!(from_bytes(&bad).is_err());
+    }
+}

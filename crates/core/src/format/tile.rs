@@ -1,0 +1,230 @@
+//! FragTile encoding: one 8×8 weight tile → three bit-plane bitmaps plus
+//! two value buffers (Algorithm 1, Phase II).
+
+use super::{FRAG_ELEMS, WINDOW};
+use zipserv_bf16::Bf16;
+
+/// The encoded form of one 8×8 FragTile.
+///
+/// Element `i` (row-major position within the tile) carries a 3-bit codeword
+/// `c` scattered across the three bitmaps: bit `i` of `bitmaps[p]` is bit
+/// `p` of `c`. Codewords `1..=7` mean "exponent = base + c, sign/mantissa in
+/// [`EncodedTile::high_freq`]"; codeword `0` means "full BF16 value in
+/// [`EncodedTile::fallback`]".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedTile {
+    /// The three 64-bit bit planes.
+    pub bitmaps: [u64; 3],
+    /// Packed sign+mantissa bytes for in-window elements, in element order.
+    pub high_freq: Vec<u8>,
+    /// Full-precision BF16 bits for out-of-window elements, in element order.
+    pub fallback: Vec<u16>,
+}
+
+impl EncodedTile {
+    /// Encodes a row-major 64-element tile against a base exponent.
+    ///
+    /// An element with raw exponent `e` is *in window* when
+    /// `1 <= e - base_exp <= 7` (so `base_exp` itself is NOT in the window:
+    /// codeword 0 is reserved for the fallback indicator).
+    pub fn encode(tile: &[Bf16; FRAG_ELEMS], base_exp: u8) -> Self {
+        let mut bitmaps = [0u64; 3];
+        let mut high_freq = Vec::new();
+        let mut fallback = Vec::new();
+        for (i, &w) in tile.iter().enumerate() {
+            let e = w.exponent() as i32;
+            let c = e - base_exp as i32;
+            if (1..=WINDOW as i32).contains(&c) {
+                let c = c as u64;
+                bitmaps[0] |= (c & 1) << i;
+                bitmaps[1] |= ((c >> 1) & 1) << i;
+                bitmaps[2] |= ((c >> 2) & 1) << i;
+                high_freq.push(w.packed_sign_mantissa());
+            } else {
+                fallback.push(w.to_bits());
+            }
+        }
+        EncodedTile {
+            bitmaps,
+            high_freq,
+            fallback,
+        }
+    }
+
+    /// The spatial indicator mask `B1 | B2 | B3`: bit `i` set means element
+    /// `i` is stored in compressed (high-frequency) form.
+    #[inline]
+    pub fn indicator(&self) -> u64 {
+        self.bitmaps[0] | self.bitmaps[1] | self.bitmaps[2]
+    }
+
+    /// Number of high-frequency (in-window) elements.
+    pub fn high_freq_count(&self) -> usize {
+        self.indicator().count_ones() as usize
+    }
+
+    /// Number of fallback elements.
+    pub fn fallback_count(&self) -> usize {
+        FRAG_ELEMS - self.high_freq_count()
+    }
+
+    /// The 3-bit codeword of element `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 64`.
+    #[inline]
+    pub fn codeword(&self, p: usize) -> u8 {
+        assert!(p < FRAG_ELEMS, "element index out of range");
+        (((self.bitmaps[0] >> p) & 1)
+            | (((self.bitmaps[1] >> p) & 1) << 1)
+            | (((self.bitmaps[2] >> p) & 1) << 2)) as u8
+    }
+
+    /// Decodes the whole tile back to 64 BF16 values (reference path; the
+    /// lane-exact path lives in [`crate::decompress`]).
+    pub fn decode(&self, base_exp: u8) -> [Bf16; FRAG_ELEMS] {
+        let mut out = [Bf16::ZERO; FRAG_ELEMS];
+        let indicator = self.indicator();
+        let mut hf = 0usize;
+        let mut fb = 0usize;
+        for (p, slot) in out.iter_mut().enumerate() {
+            if (indicator >> p) & 1 == 1 {
+                let c = self.codeword(p);
+                let e = base_exp.wrapping_add(c);
+                *slot = Bf16::from_packed(self.high_freq[hf], e);
+                hf += 1;
+            } else {
+                *slot = Bf16::from_bits(self.fallback[fb]);
+                fb += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_of(values: impl Fn(usize) -> f32) -> [Bf16; FRAG_ELEMS] {
+        core::array::from_fn(|i| Bf16::from_f32(values(i)))
+    }
+
+    #[test]
+    fn all_in_window_roundtrip() {
+        // Values around 1.0: exponents 126..128; base 120 keeps c in 6..=8?
+        // Use base 124 so exponents 125..=131 are in window.
+        let tile = tile_of(|i| 0.5 + i as f32 * 0.1);
+        let enc = EncodedTile::encode(&tile, 124);
+        assert_eq!(enc.fallback_count(), 0);
+        assert_eq!(enc.high_freq.len(), 64);
+        assert_eq!(enc.decode(124), tile);
+    }
+
+    #[test]
+    fn all_fallback_roundtrip() {
+        // Exponent 127 with base 200: nothing in window.
+        let tile = tile_of(|i| 1.0 + i as f32 * 0.001);
+        let enc = EncodedTile::encode(&tile, 200);
+        assert_eq!(enc.high_freq_count(), 0);
+        assert_eq!(enc.fallback.len(), 64);
+        assert_eq!(enc.decode(200), tile);
+    }
+
+    #[test]
+    fn mixed_tile_roundtrip() {
+        // Mix tiny (fallback), normal (window) and huge (fallback) values.
+        let tile = tile_of(|i| match i % 4 {
+            0 => 1e-30,
+            1 => 0.02,
+            2 => -0.015,
+            _ => 3.0e30,
+        });
+        let base = Bf16::from_f32(0.02).exponent() - 2;
+        let enc = EncodedTile::encode(&tile, base);
+        assert!(enc.high_freq_count() > 0);
+        assert!(enc.fallback_count() > 0);
+        assert_eq!(enc.high_freq_count() + enc.fallback_count(), 64);
+        assert_eq!(enc.decode(base), tile);
+    }
+
+    #[test]
+    fn base_exp_itself_is_fallback() {
+        // An element whose exponent equals base_exp must use the fallback
+        // path: codeword 0 is the indicator.
+        let w = Bf16::from_parts(0, 120, 5);
+        let tile = [w; FRAG_ELEMS];
+        let enc = EncodedTile::encode(&tile, 120);
+        assert_eq!(enc.high_freq_count(), 0);
+        assert_eq!(enc.decode(120), tile);
+    }
+
+    #[test]
+    fn window_boundaries() {
+        // base + 1 is the lowest in-window exponent, base + 7 the highest.
+        let lo = Bf16::from_parts(0, 121, 0);
+        let hi = Bf16::from_parts(1, 127, 0x7F);
+        let above = Bf16::from_parts(0, 128, 0);
+        let mut tile = [lo; FRAG_ELEMS];
+        tile[1] = hi;
+        tile[2] = above;
+        let enc = EncodedTile::encode(&tile, 120);
+        assert_eq!(enc.codeword(0), 1);
+        assert_eq!(enc.codeword(1), 7);
+        assert_eq!(enc.codeword(2), 0, "above-window element is fallback");
+        assert_eq!(enc.fallback_count(), 1);
+        assert_eq!(enc.decode(120), tile);
+    }
+
+    #[test]
+    fn codewords_scatter_across_planes() {
+        // Codeword 5 = 0b101: bits in planes 0 and 2 only.
+        let w = Bf16::from_parts(0, 125, 3);
+        let tile = [w; FRAG_ELEMS];
+        let enc = EncodedTile::encode(&tile, 120);
+        assert_eq!(enc.bitmaps[0], u64::MAX);
+        assert_eq!(enc.bitmaps[1], 0);
+        assert_eq!(enc.bitmaps[2], u64::MAX);
+        assert_eq!(enc.codeword(17), 5);
+    }
+
+    #[test]
+    fn indicator_is_or_of_planes() {
+        let tile = tile_of(|i| if i % 2 == 0 { 0.02 } else { 1e30 });
+        let base = Bf16::from_f32(0.02).exponent() - 3;
+        let enc = EncodedTile::encode(&tile, base);
+        assert_eq!(
+            enc.indicator(),
+            enc.bitmaps[0] | enc.bitmaps[1] | enc.bitmaps[2]
+        );
+        // Even positions set, odd clear.
+        assert_eq!(enc.indicator(), 0x5555_5555_5555_5555);
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let mut tile = [Bf16::from_f32(0.02); FRAG_ELEMS];
+        tile[0] = Bf16::NAN;
+        tile[1] = Bf16::INFINITY;
+        tile[2] = Bf16::NEG_INFINITY;
+        tile[3] = Bf16::ZERO;
+        tile[4] = Bf16::from_f32(-0.0);
+        tile[5] = Bf16::from_bits(0x0001); // subnormal
+        let base = Bf16::from_f32(0.02).exponent() - 3;
+        let enc = EncodedTile::encode(&tile, base);
+        let dec = enc.decode(base);
+        for (a, b) in tile.iter().zip(dec.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn buffer_sizes_add_up() {
+        let tile = tile_of(|i| if i < 10 { 1e30 } else { 0.02 });
+        let base = Bf16::from_f32(0.02).exponent() - 3;
+        let enc = EncodedTile::encode(&tile, base);
+        assert_eq!(enc.high_freq.len(), 54);
+        assert_eq!(enc.fallback.len(), 10);
+    }
+}

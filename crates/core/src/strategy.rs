@@ -1,0 +1,123 @@
+//! The stage-aware inference strategy (§4.4) and the compute-intensity
+//! equations of §3.3.
+//!
+//! ZipServ serves both phases from the *same* TCA-TBE format:
+//!
+//! * **decode** (memory-bound, small `N`): the fused ZipGEMM kernel — on-the-
+//!   fly register decode, no intermediate buffers;
+//! * **prefill** (compute-bound, large `N`): a decoupled pipeline — the
+//!   ZipServ-Decomp kernel expands weights once to global memory, then a
+//!   dense Tensor-Core GEMM amortizes the cost (≈4%/2% overhead at
+//!   `N = 8192/16384`, §6.4).
+
+use zipserv_gpu_sim::device::DeviceSpec;
+use zipserv_gpu_sim::roofline::{compute_intensity, GemmShape, PipelineKind};
+
+/// Which execution path the engine takes for one linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionPath {
+    /// Fused ZipGEMM ("load-compressed, compute-decompressed").
+    Fused,
+    /// Decoupled: ZipServ-Decomp to global memory, then dense GEMM.
+    Decoupled,
+}
+
+/// The inference phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Prompt processing: all prompt tokens at once.
+    Prefill,
+    /// Autoregressive generation: one token per sequence per step.
+    Decode,
+}
+
+/// The stage-aware policy: pick the path per layer invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageAwarePolicy {
+    /// Switch to the decoupled pipeline when tokens-in-flight `N` exceeds
+    /// this threshold.
+    pub fused_max_n: u64,
+}
+
+impl Default for StageAwarePolicy {
+    fn default() -> Self {
+        // Figure 15: fused wins through the decode regime (N ≤ 128) and the
+        // crossover sits well below prefill's thousands of tokens.
+        StageAwarePolicy { fused_max_n: 256 }
+    }
+}
+
+impl StageAwarePolicy {
+    /// Chooses the execution path for a layer processing `n` tokens.
+    pub fn choose(&self, n: u64) -> ExecutionPath {
+        if n <= self.fused_max_n {
+            ExecutionPath::Fused
+        } else {
+            ExecutionPath::Decoupled
+        }
+    }
+
+    /// Chooses by phase: decode is always fused, prefill always decoupled —
+    /// the coarse policy the engine applies when `N` is not known per layer.
+    pub fn choose_by_phase(&self, phase: Phase) -> ExecutionPath {
+        match phase {
+            Phase::Decode => ExecutionPath::Fused,
+            Phase::Prefill => ExecutionPath::Decoupled,
+        }
+    }
+
+    /// The analytically optimal crossover on a device: the smallest `N`
+    /// where the dense-GEMM pipeline stops being memory-bound (beyond the
+    /// roofline ridge, compression buys nothing and decode ALU only costs).
+    pub fn analytic_crossover(spec: &DeviceSpec, m: u64, k: u64, cr: f64) -> u64 {
+        let mut n = 1u64;
+        while n < 1 << 20 {
+            let ci = compute_intensity(GemmShape::new(m, k, n), PipelineKind::DenseGemm, cr);
+            if ci >= spec.ridge_flops_per_byte() {
+                return n;
+            }
+            n *= 2;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipserv_gpu_sim::device::Gpu;
+
+    #[test]
+    fn decode_regime_is_fused() {
+        let p = StageAwarePolicy::default();
+        for n in [1, 8, 32, 128] {
+            assert_eq!(p.choose(n), ExecutionPath::Fused, "n={n}");
+        }
+    }
+
+    #[test]
+    fn prefill_regime_is_decoupled() {
+        let p = StageAwarePolicy::default();
+        for n in [512, 8192, 16384] {
+            assert_eq!(p.choose(n), ExecutionPath::Decoupled, "n={n}");
+        }
+    }
+
+    #[test]
+    fn phase_shortcut() {
+        let p = StageAwarePolicy::default();
+        assert_eq!(p.choose_by_phase(Phase::Decode), ExecutionPath::Fused);
+        assert_eq!(p.choose_by_phase(Phase::Prefill), ExecutionPath::Decoupled);
+    }
+
+    #[test]
+    fn analytic_crossover_in_plausible_band() {
+        // On an RTX4090 the dense GEMM leaves the memory-bound regime
+        // somewhere in the hundreds of tokens for a 4096-hidden layer.
+        let n = StageAwarePolicy::analytic_crossover(&Gpu::Rtx4090.spec(), 4096, 4096, 1.51);
+        assert!((64..=1024).contains(&n), "crossover {n}");
+        // Datacenter parts with fat HBM stay memory-bound longer.
+        let n_h800 = StageAwarePolicy::analytic_crossover(&Gpu::H800.spec(), 4096, 4096, 1.51);
+        assert!(n_h800 > n, "H800 {n_h800} vs 4090 {n}");
+    }
+}

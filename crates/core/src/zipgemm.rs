@@ -1,0 +1,395 @@
+//! The fused decompression-GEMM kernel: **ZipGEMM** (§4.3).
+//!
+//! Two faces of the same kernel live here:
+//!
+//! * [`ZipGemm::multiply`] — the *functional* kernel: computes
+//!   `Y = W · X` directly from the compressed TCA-TBE weights, decoding each
+//!   FragTile into "registers" on the fly (never materializing the full
+//!   weight matrix) with FP32 accumulation in ascending-`k` order, so the
+//!   result is bitwise identical to a dense GEMM over the decompressed
+//!   weights;
+//! * [`ZipGemm::kernel_profile`] — the *performance* kernel: the cost sheet
+//!   (DRAM, ALU, Tensor-Core, grid, pipeline mode) handed to the GPU model.
+
+use crate::decompress::{decode_tile_lanewise, DecodeCost};
+use crate::format::layout::{block_sequence, TbeMatrix};
+use crate::format::FRAG_DIM;
+use zipserv_bf16::{Bf16, Matrix};
+use zipserv_gpu_sim::instr::{InstrKind, InstrMix};
+use zipserv_gpu_sim::kernel::{ExecutionMode, KernelProfile};
+use zipserv_gpu_sim::memory::{DramTraffic, SharedMemTraffic};
+use zipserv_gpu_sim::occupancy::LaunchGrid;
+
+/// BlockTile dimensions of the fixed ZipGEMM launch configuration.
+pub const TILE_M: u64 = 64;
+/// BlockTile width along `N`.
+pub const TILE_N: u64 = 64;
+
+/// The fused kernel.
+#[derive(Debug, Clone)]
+pub struct ZipGemm {
+    split_k: u64,
+}
+
+impl Default for ZipGemm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZipGemm {
+    /// A kernel with the default split-K factor of 2.
+    pub fn new() -> Self {
+        ZipGemm { split_k: 2 }
+    }
+
+    /// Overrides the split-K factor (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split_k == 0`.
+    pub fn with_split_k(mut self, split_k: u64) -> Self {
+        assert!(split_k > 0, "split-K must be nonzero");
+        self.split_k = split_k;
+        self
+    }
+
+    /// Computes `Y = W · X` from compressed weights, bit-exactly.
+    ///
+    /// `W` is the `M×K` compressed weight matrix, `X` a dense `K×N`
+    /// activation matrix; the result accumulates in FP32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != w.cols()`.
+    pub fn multiply(&self, w: &TbeMatrix, x: &Matrix<Bf16>) -> Matrix<f32> {
+        assert_eq!(
+            x.rows(),
+            w.cols(),
+            "activation rows must match weight cols"
+        );
+        let (m, k, n) = (w.rows(), w.cols(), x.cols());
+        let mut y = Matrix::<f32>::zeros(m, n);
+
+        // Locate each FragTile's sequence index so we can stream tiles in
+        // ascending-k order per row strip (the accumulation order contract).
+        let blocks = block_sequence(m, k);
+        let tiles_k = k / FRAG_DIM;
+        let mut seq_of = vec![0usize; (m / FRAG_DIM) * tiles_k];
+        let mut seq = 0usize;
+        for block in &blocks {
+            for &(tr, tc) in block {
+                seq_of[tr * tiles_k + tc] = seq;
+                seq += 1;
+            }
+        }
+
+        for tr in 0..m / FRAG_DIM {
+            for tk in 0..tiles_k {
+                // "Load compressed, compute decompressed": the tile lives
+                // only in this stack frame (the register file).
+                let tile = decode_tile_lanewise(
+                    w.tile_view(seq_of[tr * tiles_k + tk]),
+                    w.base_exp(),
+                );
+                for local_r in 0..FRAG_DIM {
+                    let row = tr * FRAG_DIM + local_r;
+                    for col in 0..n {
+                        let mut acc = y[(row, col)];
+                        for kk in 0..FRAG_DIM {
+                            let wv = tile[local_r * FRAG_DIM + kk].to_f32();
+                            let xv = x[(tk * FRAG_DIM + kk, col)].to_f32();
+                            acc += wv * xv;
+                        }
+                        y[(row, col)] = acc;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Convenience: the result rounded to BF16 (what the serving engine
+    /// feeds to the next layer).
+    pub fn multiply_bf16(&self, w: &TbeMatrix, x: &Matrix<Bf16>) -> Matrix<Bf16> {
+        let y = self.multiply(w, x);
+        Matrix::from_fn(y.rows(), y.cols(), |r, c| Bf16::from_f32(y[(r, c)]))
+    }
+
+    /// Multi-threaded fused multiply. Output rows are independent (each
+    /// accumulates its own ascending-`k` chain), so sharding row strips
+    /// across threads is bitwise identical to [`ZipGemm::multiply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `x.rows() != w.cols()`.
+    pub fn multiply_parallel(
+        &self,
+        w: &TbeMatrix,
+        x: &Matrix<Bf16>,
+        threads: usize,
+    ) -> Matrix<f32> {
+        assert!(threads > 0, "need at least one thread");
+        assert_eq!(x.rows(), w.cols(), "activation rows must match weight cols");
+        let (m, k, n) = (w.rows(), w.cols(), x.cols());
+        let tile_rows = m / FRAG_DIM;
+        let workers = threads.min(tile_rows).max(1);
+        if workers == 1 {
+            return self.multiply(w, x);
+        }
+
+        // Sequence index lookup, shared read-only across workers.
+        let blocks = block_sequence(m, k);
+        let tiles_k = k / FRAG_DIM;
+        let mut seq_of = vec![0usize; tile_rows * tiles_k];
+        let mut seq = 0usize;
+        for block in &blocks {
+            for &(tr, tc) in block {
+                seq_of[tr * tiles_k + tc] = seq;
+                seq += 1;
+            }
+        }
+        let seq_of = &seq_of;
+
+        let chunk = tile_rows.div_ceil(workers);
+        let mut strips: Vec<(usize, Vec<f32>)> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wi| {
+                    let start_tr = wi * chunk;
+                    let end_tr = ((wi + 1) * chunk).min(tile_rows);
+                    scope.spawn(move |_| {
+                        let rows = (end_tr - start_tr) * FRAG_DIM;
+                        let mut local = vec![0f32; rows * n];
+                        for tr in start_tr..end_tr {
+                            for tk in 0..tiles_k {
+                                let tile = decode_tile_lanewise(
+                                    w.tile_view(seq_of[tr * tiles_k + tk]),
+                                    w.base_exp(),
+                                );
+                                for local_r in 0..FRAG_DIM {
+                                    let row = (tr - start_tr) * FRAG_DIM + local_r;
+                                    for col in 0..n {
+                                        let mut acc = local[row * n + col];
+                                        for kk in 0..FRAG_DIM {
+                                            let wv = tile[local_r * FRAG_DIM + kk].to_f32();
+                                            let xv = x[(tk * FRAG_DIM + kk, col)].to_f32();
+                                            acc += wv * xv;
+                                        }
+                                        local[row * n + col] = acc;
+                                    }
+                                }
+                            }
+                        }
+                        (start_tr, local)
+                    })
+                })
+                .collect();
+            for h in handles {
+                strips.push(h.join().expect("zipgemm worker panicked"));
+            }
+        })
+        .expect("zipgemm scope panicked");
+
+        let mut y = Matrix::<f32>::zeros(m, n);
+        for (start_tr, local) in strips {
+            let row0 = start_tr * FRAG_DIM;
+            let rows = local.len() / n;
+            for r in 0..rows {
+                for c in 0..n {
+                    y[(row0 + r, c)] = local[r * n + c];
+                }
+            }
+        }
+        y
+    }
+
+    /// The instruction mix of decoding `elements` weights (Figure 12(a)).
+    pub fn decode_mix(elements: u64) -> InstrMix {
+        let c = DecodeCost::TCA_TBE;
+        let mut mix = InstrMix::new();
+        mix.add(InstrKind::Lop3, c.lop3 * elements);
+        mix.add(InstrKind::Iadd, c.iadd * elements);
+        mix.add(InstrKind::Popc, c.popc * elements);
+        mix.add(InstrKind::Shift, c.shift * elements);
+        mix.add(InstrKind::Sel, c.sel * elements);
+        mix
+    }
+
+    /// Overlap efficiency of the fixed-configuration pipeline as a function
+    /// of the weight-matrix size.
+    ///
+    /// ZipGEMM ships one BlockTile configuration (64×64, fixed split-K); the
+    /// paper notes that small layers "require fine-grained parameter tuning
+    /// … beyond the scope of this work" and shows an 0.79× slowdown on
+    /// LLaMA3.1-8B's O_proj. Small `M×K` means few K-iterations per block, so
+    /// pipeline fill/drain and barrier costs stop being amortized. The curve
+    /// is calibrated to reproduce that: ≈0.64 at 16M weights (4096×4096),
+    /// ≈0.96 beyond 45M.
+    pub fn overlap_efficiency(m: u64, k: u64) -> f64 {
+        let elems = (m * k) as f64;
+        let ramp = (elems / 4.5e7).min(1.0);
+        0.42 + 0.54 * ramp.powf(0.9)
+    }
+
+    /// Builds the GPU cost sheet for `Y_{M×N} = W_{M×K} X_{K×N}` with
+    /// compressed weights.
+    pub fn kernel_profile(&self, w: &TbeMatrix, n: u64) -> KernelProfile {
+        let m = w.rows() as u64;
+        let k = w.cols() as u64;
+        let stats = w.stats();
+
+        let weight_bytes = stats.compressed_bytes() as u64;
+        let act_bytes = 2 * k * n;
+        let out_bytes = 2 * m * n;
+
+        let mut profile = KernelProfile::empty("zipgemm");
+        profile.dram = DramTraffic::streaming(weight_bytes + act_bytes, out_bytes)
+            .with_efficiency(0.97);
+        // Conflict-free by construction (§4.2); the residual ~4.7K conflicts
+        // of Figure 12(c) are noise next to DietGPU's millions.
+        let tiles = w.tile_count() as u64;
+        profile.smem =
+            SharedMemTraffic::conflict_free(tiles * DecodeCost::TCA_TBE.lds_per_tile);
+        profile.alu = Self::decode_mix(m * k);
+        profile.divergence = 1.0; // fixed-length decode: no divergence
+        profile.tensor_flops = 2.0 * m as f64 * n as f64 * k as f64;
+        profile.grid = LaunchGrid::for_gemm(m, n, TILE_M, TILE_N, self.split_k)
+            .with_residency(2);
+        profile.mode = ExecutionMode::Pipelined {
+            overlap_efficiency: Self::overlap_efficiency(m, k),
+        };
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::TbeCompressor;
+    use zipserv_bf16::gen::WeightGen;
+    use zipserv_gpu_sim::device::Gpu;
+
+    /// Dense reference with the same FP32 accumulation order.
+    fn reference_gemm(w: &Matrix<Bf16>, x: &Matrix<Bf16>) -> Matrix<f32> {
+        let (m, k, n) = (w.rows(), w.cols(), x.cols());
+        Matrix::from_fn(m, n, |r, c| {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += w[(r, kk)].to_f32() * x[(kk, c)].to_f32();
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn fused_gemm_matches_dense_bitwise() {
+        let w = WeightGen::new(0.02).seed(11).matrix(64, 128);
+        let x = WeightGen::new(0.5).seed(12).matrix(128, 16);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let fused = ZipGemm::new().multiply(&tbe, &x);
+        let dense = reference_gemm(&w, &x);
+        for r in 0..64 {
+            for c in 0..16 {
+                assert_eq!(
+                    fused[(r, c)].to_bits(),
+                    dense[(r, c)].to_bits(),
+                    "({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gemm_with_outliers_matches() {
+        let w = WeightGen::new(0.02)
+            .seed(13)
+            .outliers(0.05, 40.0)
+            .matrix(128, 64);
+        let x = WeightGen::new(1.0).seed(14).matrix(64, 8);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        assert_eq!(
+            ZipGemm::new().multiply(&tbe, &x).as_slice(),
+            reference_gemm(&w, &x).as_slice()
+        );
+    }
+
+    #[test]
+    fn bf16_output_rounds_the_f32_result() {
+        let w = WeightGen::new(0.02).seed(15).matrix(64, 64);
+        let x = WeightGen::new(0.3).seed(16).matrix(64, 8);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let f = ZipGemm::new().multiply(&tbe, &x);
+        let b = ZipGemm::new().multiply_bf16(&tbe, &x);
+        for r in 0..64 {
+            for c in 0..8 {
+                assert_eq!(b[(r, c)], Bf16::from_f32(f[(r, c)]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "activation rows must match")]
+    fn shape_mismatch_panics() {
+        let w = WeightGen::new(0.02).matrix(64, 64);
+        let x = WeightGen::new(0.02).matrix(32, 8);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let _ = ZipGemm::new().multiply(&tbe, &x);
+    }
+
+    #[test]
+    fn profile_reads_less_dram_than_dense() {
+        let w = WeightGen::new(0.018).seed(17).matrix(512, 512);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let p = ZipGemm::new().kernel_profile(&tbe, 32);
+        let dense_read = 2 * 512 * 512 + 2 * 512 * 32;
+        assert!((p.dram.read_bytes as f64) < 0.78 * dense_read as f64);
+        assert!(p.tensor_flops > 0.0);
+        assert_eq!(p.divergence, 1.0);
+    }
+
+    #[test]
+    fn decode_stays_hidden_on_consumer_gpu() {
+        // The Fig-12 claim: ALU decode work fits under the memory time on an
+        // RTX4090-class part for a large decode-stage GEMM.
+        let w = WeightGen::new(0.018).seed(18).matrix(1024, 1024);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        // Scale the profile up to a realistic layer by building from a
+        // fabricated matrix footprint: use the real (small) one; the ratio
+        // ALU/mem is size-independent because both scale with M*K.
+        let p = ZipGemm::new().kernel_profile(&tbe, 32);
+        let t = p.execute(&Gpu::Rtx4090.spec());
+        assert!(t.alu_us < t.mem_us, "alu {} mem {}", t.alu_us, t.mem_us);
+        assert_eq!(t.bottleneck(), "mem");
+    }
+
+    #[test]
+    fn overlap_efficiency_curve() {
+        // Small O_proj-like shapes are penalized; big GateUp shapes are not.
+        let small = ZipGemm::overlap_efficiency(4096, 4096);
+        let large = ZipGemm::overlap_efficiency(28672, 4096);
+        assert!(small < 0.70, "small {small}");
+        assert!(large > 0.88, "large {large}");
+        assert!(ZipGemm::overlap_efficiency(57344, 8192) >= large);
+    }
+
+    #[test]
+    fn parallel_multiply_is_bitwise_identical() {
+        let w = WeightGen::new(0.02).seed(31).outliers(0.03, 30.0).matrix(192, 128);
+        let x = WeightGen::new(0.8).seed(32).matrix(128, 16);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let serial = ZipGemm::new().multiply(&tbe, &x);
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = ZipGemm::new().multiply_parallel(&tbe, &x, threads);
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn decode_mix_counts() {
+        let mix = ZipGemm::decode_mix(1000);
+        assert_eq!(mix.count(InstrKind::Popc), 1000);
+        assert_eq!(mix.count(InstrKind::Lop3), 3000);
+        assert_eq!(mix.total(), 9000);
+    }
+}

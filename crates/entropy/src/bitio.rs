@@ -1,0 +1,292 @@
+//! MSB-first bit-level I/O used by the Huffman codec.
+
+use crate::CodecError;
+
+/// Writes bits MSB-first into a growable byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_entropy::bitio::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0b1, 1);
+/// let bytes = w.into_bytes();
+/// assert_eq!(bytes, vec![0b1011_0000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0..8).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, MSB of that field first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "cannot write more than 32 bits at once");
+        // Emit one bit at a time; simple and fast enough for the tooling.
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("just pushed");
+            *last |= (bit as u8) << (7 - self.used);
+            self.used = (self.used + 1) % 8;
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Pads to a byte boundary in place.
+    pub fn align_to_byte(&mut self) {
+        self.used = 0;
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes` starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] past the end of the buffer.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u32, CodecError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    /// Reads `count` bits MSB-first into the low bits of the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u32, CodecError> {
+        assert!(count <= 32, "cannot read more than 32 bits at once");
+        if self.remaining_bits() < count as usize {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut out = 0u32;
+        for _ in 0..count {
+            out = (out << 1) | self.read_bit()?;
+        }
+        Ok(out)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Peeks `count` bits without consuming them, zero-padding past the end
+    /// of the buffer (the LUT decoder's window read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn peek_bits(&self, count: u32) -> u32 {
+        assert!(count <= 32, "cannot peek more than 32 bits at once");
+        let mut out = 0u32;
+        for i in 0..count as usize {
+            let pos = self.pos + i;
+            let byte = pos / 8;
+            let bit = if byte < self.bytes.len() {
+                (self.bytes[byte] >> (7 - (pos % 8))) & 1
+            } else {
+                0
+            };
+            out = (out << 1) | bit as u32;
+        }
+        out
+    }
+
+    /// Consumes `count` bits previously inspected with
+    /// [`BitReader::peek_bits`]. Consuming past the end is clamped (the
+    /// caller is responsible for symbol-count bookkeeping).
+    pub fn consume(&mut self, count: u32) {
+        self.pos = (self.pos + count as usize).min(self.bytes.len() * 8 + 32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101, 4);
+        w.write_bits(0b0, 1);
+        w.write_bits(0b111111, 6);
+        assert_eq!(w.bit_len(), 11);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1101);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(6).unwrap(), 0b111111);
+    }
+
+    #[test]
+    fn eof_detection() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.read_bits(1), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn write_32_bits_at_once() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEADBEEF, 32);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn zero_count_writes_nothing() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFFFF, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn align_to_byte() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.align_to_byte();
+        w.write_bits(0xAB, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000, 0xAB]);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        r.align_to_byte();
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn bit_positions_track() {
+        let bytes = [0u8; 4];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 32);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.bit_pos(), 5);
+        assert_eq!(r.remaining_bits(), 27);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let bytes = [0b1011_0110u8, 0b1100_0000];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(4), 0b1011);
+        assert_eq!(r.peek_bits(4), 0b1011, "repeated peek is stable");
+        assert_eq!(r.bit_pos(), 0);
+        r.consume(4);
+        assert_eq!(r.peek_bits(4), 0b0110);
+        assert_eq!(r.read_bits(4).unwrap(), 0b0110);
+    }
+
+    #[test]
+    fn peek_zero_pads_past_end() {
+        let bytes = [0xFFu8];
+        let r = BitReader::new(&bytes);
+        // 8 real ones followed by 4 padded zeros.
+        assert_eq!(r.peek_bits(12), 0b1111_1111_0000);
+        let empty = BitReader::new(&[]);
+        assert_eq!(empty.peek_bits(16), 0);
+    }
+
+    #[test]
+    fn peek_consume_equivalent_to_read() {
+        let bytes = [0xA5u8, 0x3C, 0x7E];
+        let mut a = BitReader::new(&bytes);
+        let mut b = BitReader::new(&bytes);
+        for count in [3u32, 5, 7, 9] {
+            let peeked = b.peek_bits(count);
+            b.consume(count);
+            assert_eq!(a.read_bits(count).unwrap(), peeked);
+        }
+        assert_eq!(a.bit_pos(), b.bit_pos());
+    }
+
+    #[test]
+    fn many_random_fields_roundtrip() {
+        // Deterministic pseudo-random field widths/values.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut fields = Vec::new();
+        let mut w = BitWriter::new();
+        for _ in 0..500 {
+            let count = next() % 25 + 1;
+            let value = next() & ((1u32 << count) - 1).max(1);
+            let value = if count == 32 { value } else { value & ((1 << count) - 1) };
+            w.write_bits(value, count);
+            fields.push((value, count));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (value, count) in fields {
+            assert_eq!(r.read_bits(count).unwrap(), value);
+        }
+    }
+}

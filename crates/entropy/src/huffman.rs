@@ -1,0 +1,872 @@
+//! Canonical, length-limited Huffman coding over byte symbols, with the
+//! DFloat11-style chunked GPU framing.
+//!
+//! DFloat11 compresses the BF16 exponent stream with Huffman codes and
+//! decodes on the GPU in three stages (§3.2 of the paper): bitstream
+//! partitioning, LUT symbol extraction and pointer advancement. The
+//! variable-length symbols are what break SIMT lockstep. To let the GPU
+//! model reason about that, [`ChunkedHuffman::decompress_traced`] returns a
+//! [`DecodeTrace`] with the per-symbol code-length statistics the divergence
+//! model consumes.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{CodecError, CompressionStats};
+
+/// Maximum code length for the canonical table (fits LUT-based decoders).
+pub const MAX_CODE_LEN: u32 = 16;
+
+/// A canonical Huffman code table over the 256 byte symbols.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_entropy::huffman::HuffmanTable;
+///
+/// let mut freqs = [0u64; 256];
+/// freqs[b'a' as usize] = 90;
+/// freqs[b'b' as usize] = 9;
+/// freqs[b'c' as usize] = 1;
+/// let table = HuffmanTable::from_frequencies(&freqs)?;
+/// assert!(table.code_len(b'a') <= table.code_len(b'c'));
+/// # Ok::<(), zipserv_entropy::CodecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanTable {
+    /// Code length per symbol; 0 means the symbol does not occur.
+    lengths: [u8; 256],
+    /// Canonical code per symbol (valid when length > 0).
+    codes: [u32; 256],
+    /// Symbols sorted by (length, symbol) — decoding order.
+    sorted_symbols: Vec<u8>,
+    /// Per-length count of symbols.
+    count_by_len: [u32; MAX_CODE_LEN as usize + 1],
+    /// First canonical code of each length.
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    /// Index into `sorted_symbols` of the first symbol of each length.
+    first_index: [u32; MAX_CODE_LEN as usize + 1],
+}
+
+impl HuffmanTable {
+    /// Builds a canonical, length-limited table from symbol frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::EmptyInput`] if all frequencies are zero.
+    pub fn from_frequencies(freqs: &[u64; 256]) -> Result<Self, CodecError> {
+        let mut lengths = huffman_code_lengths(freqs)?;
+        limit_lengths(&mut lengths, freqs);
+        Ok(Self::from_lengths_unchecked(lengths))
+    }
+
+    /// Rebuilds a table from serialized code lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] if the lengths violate the Kraft
+    /// equality (i.e., do not describe a complete prefix code) or exceed
+    /// [`MAX_CODE_LEN`].
+    pub fn from_lengths(lengths: [u8; 256]) -> Result<Self, CodecError> {
+        let mut kraft: u64 = 0;
+        let mut any = false;
+        for &len in &lengths {
+            if len == 0 {
+                continue;
+            }
+            any = true;
+            if len as u32 > MAX_CODE_LEN {
+                return Err(CodecError::Corrupt("code length exceeds limit"));
+            }
+            kraft += 1u64 << (MAX_CODE_LEN - len as u32);
+        }
+        if !any {
+            return Err(CodecError::EmptyInput);
+        }
+        // A single-symbol alphabet gets a 1-bit code (kraft = 1/2); all other
+        // valid tables satisfy the Kraft equality exactly.
+        let single = lengths.iter().filter(|&&l| l > 0).count() == 1;
+        if !single && kraft != 1u64 << MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("code lengths violate Kraft equality"));
+        }
+        Ok(Self::from_lengths_unchecked(lengths))
+    }
+
+    fn from_lengths_unchecked(lengths: [u8; 256]) -> Self {
+        let mut sorted: Vec<u8> = (0u16..256)
+            .map(|s| s as u8)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        sorted.sort_by_key(|&s| (lengths[s as usize], s));
+
+        let mut count_by_len = [0u32; MAX_CODE_LEN as usize + 1];
+        for &s in &sorted {
+            count_by_len[lengths[s as usize] as usize] += 1;
+        }
+
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut first_index = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            first_code[len] = code;
+            first_index[len] = index;
+            code = (code + count_by_len[len]) << 1;
+            index += count_by_len[len];
+        }
+
+        let mut codes = [0u32; 256];
+        let mut next_code = first_code;
+        for &s in &sorted {
+            let len = lengths[s as usize] as usize;
+            codes[s as usize] = next_code[len];
+            next_code[len] += 1;
+        }
+
+        HuffmanTable {
+            lengths,
+            codes,
+            sorted_symbols: sorted,
+            count_by_len,
+            first_code,
+            first_index,
+        }
+    }
+
+    /// Code length in bits for `symbol` (0 if the symbol never occurs).
+    #[inline]
+    pub fn code_len(&self, symbol: u8) -> u32 {
+        self.lengths[symbol as usize] as u32
+    }
+
+    /// The canonical code bits for `symbol`.
+    #[inline]
+    pub fn code(&self, symbol: u8) -> u32 {
+        self.codes[symbol as usize]
+    }
+
+    /// The serialized form: one length byte per symbol.
+    pub fn to_lengths(&self) -> [u8; 256] {
+        self.lengths
+    }
+
+    /// Expected bits per symbol under the given frequency distribution.
+    pub fn expected_bits(&self, freqs: &[u64; 256]) -> f64 {
+        let total: u64 = freqs.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut bits = 0.0;
+        for s in 0..256usize {
+            bits += freqs[s] as f64 * self.lengths[s] as f64;
+        }
+        bits / total as f64
+    }
+
+    /// Encodes `symbol` into the bit writer.
+    #[inline]
+    fn encode_symbol(&self, w: &mut BitWriter, symbol: u8) {
+        let len = self.lengths[symbol as usize] as u32;
+        debug_assert!(len > 0, "encoding symbol absent from table");
+        w.write_bits(self.codes[symbol as usize], len);
+    }
+
+    /// Decodes one symbol, returning `(symbol, code_length)`.
+    #[inline]
+    fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<(u8, u32), CodecError> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | r.read_bit()?;
+            let offset = code.wrapping_sub(self.first_code[len]);
+            if offset < self.count_by_len[len] {
+                let sym = self.sorted_symbols[(self.first_index[len] + offset) as usize];
+                return Ok((sym, len as u32));
+            }
+        }
+        Err(CodecError::Corrupt("no symbol within max code length"))
+    }
+}
+
+/// Width of the single-level decode LUT (the hierarchical-LUT design of
+/// DFloat11's §3.2 ❷, collapsed to one level since codes are ≤ 16 bits).
+pub const LUT_BITS: u32 = 12;
+
+/// A table-driven decoder: one `2^LUT_BITS`-entry table maps the next 12
+/// bits directly to `(symbol, code length)`; rarer, longer codes escape to
+/// the canonical bit-serial path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutDecoder {
+    /// `(symbol, len)` per 12-bit prefix; `len == 0` marks an escape.
+    primary: Vec<(u8, u8)>,
+    table: HuffmanTable,
+}
+
+impl LutDecoder {
+    /// Builds the LUT from a canonical table.
+    pub fn new(table: HuffmanTable) -> Self {
+        let mut primary = vec![(0u8, 0u8); 1usize << LUT_BITS];
+        for s in 0..256usize {
+            let len = table.lengths[s] as u32;
+            if len == 0 || len > LUT_BITS {
+                continue;
+            }
+            let code = table.codes[s];
+            let fill = LUT_BITS - len;
+            let base = (code << fill) as usize;
+            for suffix in 0..(1usize << fill) {
+                primary[base + suffix] = (s as u8, len as u8);
+            }
+        }
+        LutDecoder { primary, table }
+    }
+
+    /// Decodes one symbol via the LUT, escaping to the canonical walk for
+    /// codes longer than [`LUT_BITS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or invalid input.
+    #[inline]
+    pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<(u8, u32), CodecError> {
+        let window = r.peek_bits(LUT_BITS);
+        let (sym, len) = self.primary[window as usize];
+        if len != 0 {
+            if (r.remaining_bits() as u32) < len as u32 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            r.consume(len as u32);
+            return Ok((sym, len as u32));
+        }
+        self.table.decode_symbol(r)
+    }
+}
+
+/// Computes unrestricted Huffman code lengths with a pairing heap over
+/// (weight, tie-break) nodes.
+fn huffman_code_lengths(freqs: &[u64; 256]) -> Result<[u8; 256], CodecError> {
+    #[derive(Clone)]
+    struct Node {
+        weight: u64,
+        // Leaf symbol or internal children.
+        children: Option<(usize, usize)>,
+        symbol: u8,
+        depth_tiebreak: u32,
+    }
+
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, usize)>> =
+        std::collections::BinaryHeap::new();
+    for s in 0..256usize {
+        if freqs[s] > 0 {
+            let id = nodes.len();
+            nodes.push(Node {
+                weight: freqs[s],
+                children: None,
+                symbol: s as u8,
+                depth_tiebreak: 0,
+            });
+            heap.push(std::cmp::Reverse((freqs[s], 0, id)));
+        }
+    }
+    if heap.is_empty() {
+        return Err(CodecError::EmptyInput);
+    }
+    let mut lengths = [0u8; 256];
+    if heap.len() == 1 {
+        let std::cmp::Reverse((_, _, id)) = heap.pop().expect("len 1");
+        lengths[nodes[id].symbol as usize] = 1;
+        return Ok(lengths);
+    }
+    while heap.len() >= 2 {
+        let std::cmp::Reverse((w1, d1, a)) = heap.pop().expect("len >= 2");
+        let std::cmp::Reverse((w2, d2, b)) = heap.pop().expect("len >= 2");
+        let id = nodes.len();
+        let depth = d1.max(d2) + 1;
+        nodes.push(Node {
+            weight: w1 + w2,
+            children: Some((a, b)),
+            symbol: 0,
+            depth_tiebreak: depth,
+        });
+        heap.push(std::cmp::Reverse((w1 + w2, depth, id)));
+    }
+    // Walk the tree to assign depths.
+    let std::cmp::Reverse((_, _, root)) = heap.pop().expect("root");
+    let mut stack = vec![(root, 0u8)];
+    while let Some((id, depth)) = stack.pop() {
+        match nodes[id].children {
+            Some((a, b)) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+            None => lengths[nodes[id].symbol as usize] = depth.max(1),
+        }
+    }
+    let _ = nodes.iter().map(|n| n.depth_tiebreak).max(); // silence: tiebreak used in heap key
+    let _ = nodes.first().map(|n| n.weight);
+    Ok(lengths)
+}
+
+/// Enforces `MAX_CODE_LEN` by clamping over-long codes and repairing the
+/// Kraft sum: lengthen the cheapest (most frequent excess-capacity) codes
+/// while the code is over-complete, shorten the deepest while it is
+/// under-complete.
+fn limit_lengths(lengths: &mut [u8; 256], freqs: &[u64; 256]) {
+    let max = MAX_CODE_LEN as u8;
+    for l in lengths.iter_mut() {
+        if *l > max {
+            *l = max;
+        }
+    }
+    let kraft = |lengths: &[u8; 256]| -> i64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1i64 << (max - l) as u32)
+            .sum()
+    };
+    let target = if lengths.iter().filter(|&&l| l > 0).count() == 1 {
+        // Single symbol: 1-bit code, half the Kraft budget, and valid.
+        return;
+    } else {
+        1i64 << max as u32
+    };
+    // Over-complete: lengthen codes, preferring the least frequent symbol
+    // that still has room to grow (cost per unit of Kraft relief is lowest).
+    while kraft(lengths) > target {
+        let grow = (0..256usize)
+            .filter(|&s| lengths[s] > 0 && lengths[s] < max)
+            .min_by_key(|&s| (freqs[s], std::cmp::Reverse(lengths[s])))
+            .expect("over-complete code must have a growable symbol");
+        lengths[grow] += 1;
+    }
+    // Under-complete: shorten the deepest, most frequent symbols while the
+    // shortening keeps the sum within budget.
+    loop {
+        let slack = target - kraft(lengths);
+        if slack == 0 {
+            break;
+        }
+        debug_assert!(slack > 0);
+        let candidate = (0..256usize)
+            .filter(|&s| {
+                let l = lengths[s];
+                l > 1 && (1i64 << (max - l + 1) as u32) - (1i64 << (max - l) as u32) <= slack
+            })
+            .max_by_key(|&s| (lengths[s], freqs[s]));
+        match candidate {
+            Some(s) => lengths[s] -= 1,
+            None => break, // cannot repair further; code stays valid but padded
+        }
+    }
+}
+
+/// A single-stream Huffman-compressed blob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HuffmanBlob {
+    table_lengths: [u8; 256],
+    payload: Vec<u8>,
+    n_symbols: usize,
+}
+
+impl HuffmanBlob {
+    /// Compresses a byte stream with a table fit to its histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::EmptyInput`] for an empty input.
+    pub fn compress(data: &[u8]) -> Result<Self, CodecError> {
+        let mut freqs = [0u64; 256];
+        for &b in data {
+            freqs[b as usize] += 1;
+        }
+        let table = HuffmanTable::from_frequencies(&freqs)?;
+        let mut w = BitWriter::new();
+        for &b in data {
+            table.encode_symbol(&mut w, b);
+        }
+        Ok(HuffmanBlob {
+            table_lengths: table.to_lengths(),
+            payload: w.into_bytes(),
+            n_symbols: data.len(),
+        })
+    }
+
+    /// Decompresses back to the original byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the payload is truncated or corrupt.
+    pub fn decompress(&self) -> Result<Vec<u8>, CodecError> {
+        let table = HuffmanTable::from_lengths(self.table_lengths)?;
+        let mut r = BitReader::new(&self.payload);
+        let mut out = Vec::with_capacity(self.n_symbols);
+        for _ in 0..self.n_symbols {
+            let (sym, _) = table.decode_symbol(&mut r)?;
+            out.push(sym);
+        }
+        Ok(out)
+    }
+
+    /// Decompresses via the table-driven fast path (identical output to
+    /// [`HuffmanBlob::decompress`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the payload is truncated or corrupt.
+    pub fn decompress_fast(&self) -> Result<Vec<u8>, CodecError> {
+        let lut = LutDecoder::new(HuffmanTable::from_lengths(self.table_lengths)?);
+        let mut r = BitReader::new(&self.payload);
+        let mut out = Vec::with_capacity(self.n_symbols);
+        for _ in 0..self.n_symbols {
+            let (sym, _) = lut.decode_symbol(&mut r)?;
+            out.push(sym);
+        }
+        Ok(out)
+    }
+
+    /// Compression statistics (payload + 256-byte table + 8-byte count).
+    pub fn stats(&self) -> CompressionStats {
+        CompressionStats {
+            raw_bytes: self.n_symbols,
+            compressed_bytes: self.payload.len() + 256 + 8,
+        }
+    }
+}
+
+/// Per-decode statistics describing SIMT-hostile variability, consumed by
+/// the GPU divergence model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeTrace {
+    /// Histogram of decoded code lengths (index = bits).
+    pub length_histogram: [u64; MAX_CODE_LEN as usize + 1],
+    /// Total symbols decoded.
+    pub symbols: u64,
+    /// Number of independent chunks in the frame.
+    pub chunks: usize,
+    /// Bits consumed by each chunk (load imbalance across threads).
+    pub chunk_bits: Vec<u64>,
+}
+
+impl DecodeTrace {
+    /// Mean decoded code length in bits.
+    pub fn mean_code_len(&self) -> f64 {
+        if self.symbols == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .length_histogram
+            .iter()
+            .enumerate()
+            .map(|(len, &n)| len as u64 * n)
+            .sum();
+        total as f64 / self.symbols as f64
+    }
+
+    /// Expected per-warp maximum code length relative to the mean — the
+    /// first-order SIMT divergence penalty: in lockstep execution every lane
+    /// waits for the slowest symbol in the warp.
+    ///
+    /// Computed exactly from the length distribution for a warp of 32
+    /// independent draws: `E[max of 32] / mean`.
+    pub fn warp_divergence_factor(&self) -> f64 {
+        if self.symbols == 0 {
+            return 1.0;
+        }
+        let n = self.symbols as f64;
+        // CDF over lengths.
+        let mut cdf = [0.0f64; MAX_CODE_LEN as usize + 1];
+        let mut acc = 0.0;
+        for len in 0..cdf.len() {
+            acc += self.length_histogram[len] as f64 / n;
+            cdf[len] = acc;
+        }
+        // E[max of 32 iid draws] = sum over len of P(max >= len).
+        let mut expected_max = 0.0;
+        for len in 1..cdf.len() {
+            let p_below = cdf[len - 1];
+            expected_max += 1.0 - p_below.powi(32);
+        }
+        let mean = self.mean_code_len();
+        if mean == 0.0 {
+            1.0
+        } else {
+            (expected_max / mean).max(1.0)
+        }
+    }
+
+    /// Coefficient of variation of per-chunk bit counts (inter-thread load
+    /// imbalance in the partitioned decoder).
+    pub fn chunk_imbalance(&self) -> f64 {
+        if self.chunk_bits.len() <= 1 {
+            return 0.0;
+        }
+        let n = self.chunk_bits.len() as f64;
+        let mean = self.chunk_bits.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .chunk_bits
+            .iter()
+            .map(|&b| (b as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// DFloat11-style chunked Huffman frame: one global canonical table, the
+/// symbol stream split into fixed-size chunks, each chunk byte-aligned with
+/// its start offset recorded so GPU threads can decode chunks independently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedHuffman {
+    table_lengths: [u8; 256],
+    /// Byte offset of each chunk within `payload`.
+    chunk_offsets: Vec<u32>,
+    payload: Vec<u8>,
+    n_symbols: usize,
+    chunk_symbols: usize,
+}
+
+impl ChunkedHuffman {
+    /// Default chunk size used by the GPU-style framing.
+    pub const DEFAULT_CHUNK_SYMBOLS: usize = 8192;
+
+    /// Compresses `data` into chunks of `chunk_symbols` symbols each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::EmptyInput`] for an empty input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_symbols == 0`.
+    pub fn compress(data: &[u8], chunk_symbols: usize) -> Result<Self, CodecError> {
+        assert!(chunk_symbols > 0, "chunk size must be positive");
+        let mut freqs = [0u64; 256];
+        for &b in data {
+            freqs[b as usize] += 1;
+        }
+        let table = HuffmanTable::from_frequencies(&freqs)?;
+        let mut payload = Vec::new();
+        let mut chunk_offsets = Vec::new();
+        for chunk in data.chunks(chunk_symbols) {
+            chunk_offsets.push(payload.len() as u32);
+            let mut w = BitWriter::new();
+            for &b in chunk {
+                table.encode_symbol(&mut w, b);
+            }
+            payload.extend_from_slice(&w.into_bytes());
+        }
+        Ok(ChunkedHuffman {
+            table_lengths: table.to_lengths(),
+            chunk_offsets,
+            payload,
+            n_symbols: data.len(),
+            chunk_symbols,
+        })
+    }
+
+    /// Decompresses all chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt chunks.
+    pub fn decompress(&self) -> Result<Vec<u8>, CodecError> {
+        Ok(self.decompress_traced()?.0)
+    }
+
+    /// Decompresses and returns the [`DecodeTrace`] for divergence modeling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt chunks.
+    pub fn decompress_traced(&self) -> Result<(Vec<u8>, DecodeTrace), CodecError> {
+        let table = HuffmanTable::from_lengths(self.table_lengths)?;
+        let mut out = Vec::with_capacity(self.n_symbols);
+        let mut length_histogram = [0u64; MAX_CODE_LEN as usize + 1];
+        let mut chunk_bits = Vec::with_capacity(self.chunk_offsets.len());
+        for (i, &off) in self.chunk_offsets.iter().enumerate() {
+            let end = self
+                .chunk_offsets
+                .get(i + 1)
+                .map(|&o| o as usize)
+                .unwrap_or(self.payload.len());
+            let symbols_in_chunk = (self.n_symbols - i * self.chunk_symbols).min(self.chunk_symbols);
+            let mut r = BitReader::new(&self.payload[off as usize..end]);
+            let mut bits = 0u64;
+            for _ in 0..symbols_in_chunk {
+                let (sym, len) = table.decode_symbol(&mut r)?;
+                out.push(sym);
+                length_histogram[len as usize] += 1;
+                bits += len as u64;
+            }
+            chunk_bits.push(bits);
+        }
+        let trace = DecodeTrace {
+            length_histogram,
+            symbols: self.n_symbols as u64,
+            chunks: self.chunk_offsets.len(),
+            chunk_bits,
+        };
+        Ok((out, trace))
+    }
+
+    /// Compression statistics, counting table, offsets and payload.
+    pub fn stats(&self) -> CompressionStats {
+        CompressionStats {
+            raw_bytes: self.n_symbols,
+            compressed_bytes: self.payload.len() + 256 + 4 * self.chunk_offsets.len() + 16,
+        }
+    }
+
+    /// Number of chunks in the frame.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_offsets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_data(n: usize) -> Vec<u8> {
+        // Zipf-ish over a handful of symbols, like an exponent stream.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let r = state % 100;
+                match r {
+                    0..=39 => 121,
+                    40..=64 => 120,
+                    65..=84 => 122,
+                    85..=92 => 119,
+                    93..=96 => 123,
+                    97..=98 => 118,
+                    _ => (state >> 32) as u8,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_orders_by_frequency() {
+        let mut freqs = [0u64; 256];
+        freqs[0] = 1000;
+        freqs[1] = 100;
+        freqs[2] = 10;
+        freqs[3] = 1;
+        let t = HuffmanTable::from_frequencies(&freqs).unwrap();
+        assert!(t.code_len(0) <= t.code_len(1));
+        assert!(t.code_len(1) <= t.code_len(2));
+        assert!(t.code_len(2) <= t.code_len(3));
+    }
+
+    #[test]
+    fn single_symbol_roundtrip() {
+        let data = vec![42u8; 1000];
+        let blob = HuffmanBlob::compress(&data).unwrap();
+        assert_eq!(blob.decompress().unwrap(), data);
+        // 1 bit per symbol -> 125 payload bytes.
+        assert!(blob.stats().compressed_bytes < 256 + 8 + 130);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(HuffmanBlob::compress(&[]), Err(CodecError::EmptyInput));
+        assert_eq!(
+            ChunkedHuffman::compress(&[], 64),
+            Err(CodecError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn roundtrip_skewed() {
+        let data = skewed_data(50_000);
+        let blob = HuffmanBlob::compress(&data).unwrap();
+        assert_eq!(blob.decompress().unwrap(), data);
+        // Entropy of the skewed stream is well under 8 bits.
+        assert!(blob.stats().ratio() > 1.5, "ratio {}", blob.stats().ratio());
+    }
+
+    #[test]
+    fn roundtrip_uniform_random() {
+        let mut state = 1u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let blob = HuffmanBlob::compress(&data).unwrap();
+        assert_eq!(blob.decompress().unwrap(), data);
+    }
+
+    #[test]
+    fn all_256_symbols_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let blob = HuffmanBlob::compress(&data).unwrap();
+        assert_eq!(blob.decompress().unwrap(), data);
+    }
+
+    #[test]
+    fn length_limit_respected_under_extreme_skew() {
+        // Exponentially decaying frequencies force deep unrestricted codes.
+        let mut freqs = [0u64; 256];
+        let mut f = 1u64 << 50;
+        for s in 0..40usize {
+            freqs[s] = f.max(1);
+            f /= 3;
+        }
+        let t = HuffmanTable::from_frequencies(&freqs).unwrap();
+        for s in 0..=255u8 {
+            assert!(t.code_len(s) <= MAX_CODE_LEN, "symbol {s}: {}", t.code_len(s));
+        }
+        // And the table still decodes a stream drawn from those symbols.
+        let data: Vec<u8> = (0..1000).map(|i| (i % 40) as u8).collect();
+        let blob = HuffmanBlob::compress(&data).unwrap();
+        assert_eq!(blob.decompress().unwrap(), data);
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        let data = skewed_data(20_000);
+        let mut freqs = [0u64; 256];
+        for &b in &data {
+            freqs[b as usize] += 1;
+        }
+        let t = HuffmanTable::from_frequencies(&freqs).unwrap();
+        let kraft: f64 = (0..=255u8)
+            .filter(|&s| t.code_len(s) > 0)
+            .map(|s| 2f64.powi(-(t.code_len(s) as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-9, "kraft {kraft}");
+    }
+
+    #[test]
+    fn from_lengths_rejects_invalid() {
+        let mut lengths = [0u8; 256];
+        lengths[0] = 1;
+        lengths[1] = 1;
+        lengths[2] = 1; // over-complete
+        assert!(matches!(
+            HuffmanTable::from_lengths(lengths),
+            Err(CodecError::Corrupt(_))
+        ));
+        assert!(matches!(
+            HuffmanTable::from_lengths([0u8; 256]),
+            Err(CodecError::EmptyInput)
+        ));
+        let mut too_long = [0u8; 256];
+        too_long[0] = (MAX_CODE_LEN + 1) as u8;
+        assert!(matches!(
+            HuffmanTable::from_lengths(too_long),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_roundtrip_and_trace() {
+        let data = skewed_data(30_000);
+        let ch = ChunkedHuffman::compress(&data, 4096).unwrap();
+        assert_eq!(ch.chunk_count(), 30_000_usize.div_ceil(4096));
+        let (out, trace) = ch.decompress_traced().unwrap();
+        assert_eq!(out, data);
+        assert_eq!(trace.symbols, 30_000);
+        assert_eq!(trace.chunks, ch.chunk_count());
+        // Mean length below 8 bits (compressible) but above entropy floor.
+        let mean = trace.mean_code_len();
+        assert!(mean > 1.0 && mean < 8.0, "mean {mean}");
+        // Divergence: variable lengths make warps wait; factor > 1.
+        assert!(trace.warp_divergence_factor() > 1.1);
+    }
+
+    #[test]
+    fn uniform_lengths_have_no_divergence() {
+        // All symbols equally frequent at a power-of-two count => equal code
+        // lengths => E[max]/mean == 1.
+        let data: Vec<u8> = (0..=255u8).cycle().take(256 * 16).collect();
+        let ch = ChunkedHuffman::compress(&data, 1024).unwrap();
+        let (_, trace) = ch.decompress_traced().unwrap();
+        assert!((trace.warp_divergence_factor() - 1.0).abs() < 1e-9);
+        assert!(trace.chunk_imbalance() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_boundaries_are_byte_aligned() {
+        let data = skewed_data(10_000);
+        let ch = ChunkedHuffman::compress(&data, 1000).unwrap();
+        // Every chunk decodes independently, so a frame with a single chunk
+        // decoded alone must agree with the corresponding slice.
+        let full = ch.decompress().unwrap();
+        assert_eq!(&full[..1000], &data[..1000]);
+        assert_eq!(&full[9000..], &data[9000..]);
+    }
+
+    #[test]
+    fn lut_decoder_matches_bit_serial() {
+        let data = skewed_data(40_000);
+        let blob = HuffmanBlob::compress(&data).unwrap();
+        assert_eq!(blob.decompress_fast().unwrap(), blob.decompress().unwrap());
+        assert_eq!(blob.decompress_fast().unwrap(), data);
+    }
+
+    #[test]
+    fn lut_decoder_handles_long_escape_codes() {
+        // Force codes longer than LUT_BITS: an exponential frequency ladder
+        // drives rare symbols past 12 bits, exercising the escape path.
+        let mut data = Vec::new();
+        for s in 0..30u32 {
+            let count = 1usize << (30 - s).min(16);
+            data.extend(std::iter::repeat_n(s as u8, count / 256 + 1));
+        }
+        // Shuffle deterministically.
+        let mut state = 0xDEADBEEFu64;
+        for i in (1..data.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            data.swap(i, j);
+        }
+        let blob = HuffmanBlob::compress(&data).unwrap();
+        let mut freqs = [0u64; 256];
+        for &b in &data {
+            freqs[b as usize] += 1;
+        }
+        let table = HuffmanTable::from_frequencies(&freqs).unwrap();
+        let max_len = (0..=255u8).map(|s| table.code_len(s)).max().unwrap();
+        assert!(max_len > LUT_BITS, "need escape codes (max {max_len})");
+        assert_eq!(blob.decompress_fast().unwrap(), data);
+    }
+
+    #[test]
+    fn lut_decoder_detects_truncation() {
+        let data = skewed_data(5_000);
+        let mut blob = HuffmanBlob::compress(&data).unwrap();
+        blob.payload.truncate(blob.payload.len() / 4);
+        assert!(blob.decompress_fast().is_err());
+    }
+
+    #[test]
+    fn expected_bits_close_to_entropy() {
+        let data = skewed_data(100_000);
+        let mut freqs = [0u64; 256];
+        for &b in &data {
+            freqs[b as usize] += 1;
+        }
+        let t = HuffmanTable::from_frequencies(&freqs).unwrap();
+        let total: u64 = freqs.iter().sum();
+        let entropy: f64 = freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        let bits = t.expected_bits(&freqs);
+        assert!(bits >= entropy - 1e-9, "bits {bits} entropy {entropy}");
+        assert!(bits <= entropy + 1.0, "Huffman within 1 bit of entropy");
+    }
+}

@@ -1,0 +1,111 @@
+//! Baseline lossless entropy codecs for BF16 LLM weights.
+//!
+//! ZipServ's evaluation compares TCA-TBE against three entropy-coded
+//! baselines — DFloat11 (canonical Huffman), DietGPU and nvCOMP (rANS). This
+//! crate implements those codec families from scratch, bit-exactly:
+//!
+//! * [`bitio`] — MSB-first bit-level readers/writers;
+//! * [`huffman`] — canonical, length-limited Huffman coding over byte
+//!   symbols, plus a DFloat11-style chunked framing ([`huffman::ChunkedHuffman`])
+//!   whose decode produces the *symbol-length traces* the GPU divergence
+//!   model consumes;
+//! * [`rans`] — a 32-bit range asymmetric numeral system codec with the
+//!   interleaved layout used by GPU rANS implementations;
+//! * [`split`] — BF16 plane splitting: the exponent byte stream (what the
+//!   entropy coder sees) and the packed sign/mantissa stream (stored raw).
+//!
+//! All codecs round-trip bit-exactly; property tests in each module verify
+//! `decode(encode(x)) == x` over adversarial inputs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitio;
+pub mod huffman;
+pub mod rans;
+pub mod split;
+
+use core::fmt;
+
+/// Error type for the codecs in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The compressed stream ended before all symbols were decoded.
+    UnexpectedEof,
+    /// The stream contained an invalid code or corrupted header.
+    Corrupt(&'static str),
+    /// The symbol alphabet was empty or otherwise unusable.
+    EmptyInput,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
+            CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
+            CodecError::EmptyInput => write!(f, "input contains no symbols"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Compression statistics shared by all codecs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Uncompressed payload size in bytes.
+    pub raw_bytes: usize,
+    /// Compressed payload size in bytes (including headers/tables).
+    pub compressed_bytes: usize,
+}
+
+impl CompressionStats {
+    /// Compression ratio `raw / compressed` (1.0 when compressed is empty).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Compressed size as a fraction of the raw size.
+    pub fn fraction(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.compressed_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_ratio() {
+        let s = CompressionStats {
+            raw_bytes: 200,
+            compressed_bytes: 100,
+        };
+        assert_eq!(s.ratio(), 2.0);
+        assert_eq!(s.fraction(), 0.5);
+    }
+
+    #[test]
+    fn stats_degenerate() {
+        let s = CompressionStats {
+            raw_bytes: 0,
+            compressed_bytes: 0,
+        };
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.fraction(), 1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::UnexpectedEof.to_string().contains("unexpected end"));
+        assert!(CodecError::Corrupt("bad table").to_string().contains("bad table"));
+    }
+}

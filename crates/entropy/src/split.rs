@@ -1,0 +1,116 @@
+//! BF16 plane splitting: the transformation every lossless weight codec in
+//! the paper applies before entropy coding.
+//!
+//! A BF16 weight has three fields; only the 8-bit exponent is statistically
+//! redundant (§3.1). The baselines therefore split a weight stream into:
+//!
+//! * an **exponent plane** (one byte per weight) — entropy coded;
+//! * a **sign/mantissa plane** (one packed byte per weight) — stored raw,
+//!   since signs and mantissas of trained weights are near-uniform.
+//!
+//! [`recombine`] is the exact inverse of [`split_planes`].
+
+use zipserv_bf16::Bf16;
+
+/// The two byte planes of a BF16 stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Planes {
+    /// Raw exponent field per weight.
+    pub exponents: Vec<u8>,
+    /// Packed sign (bit 7) + mantissa (bits 0..7) per weight.
+    pub sign_mantissa: Vec<u8>,
+}
+
+impl Planes {
+    /// Number of weights represented.
+    pub fn len(&self) -> usize {
+        self.exponents.len()
+    }
+
+    /// Is the stream empty?
+    pub fn is_empty(&self) -> bool {
+        self.exponents.is_empty()
+    }
+}
+
+/// Splits a BF16 stream into its exponent and sign/mantissa planes.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_bf16::Bf16;
+/// use zipserv_entropy::split::{split_planes, recombine};
+///
+/// let weights = vec![Bf16::from_f32(1.5), Bf16::from_f32(-0.125)];
+/// let planes = split_planes(&weights);
+/// assert_eq!(recombine(&planes), weights);
+/// ```
+pub fn split_planes(weights: &[Bf16]) -> Planes {
+    let mut exponents = Vec::with_capacity(weights.len());
+    let mut sign_mantissa = Vec::with_capacity(weights.len());
+    for &w in weights {
+        exponents.push(w.exponent());
+        sign_mantissa.push(w.packed_sign_mantissa());
+    }
+    Planes {
+        exponents,
+        sign_mantissa,
+    }
+}
+
+/// Reassembles the original BF16 stream from its planes.
+///
+/// # Panics
+///
+/// Panics if the two planes have different lengths.
+pub fn recombine(planes: &Planes) -> Vec<Bf16> {
+    assert_eq!(
+        planes.exponents.len(),
+        planes.sign_mantissa.len(),
+        "plane length mismatch"
+    );
+    planes
+        .exponents
+        .iter()
+        .zip(planes.sign_mantissa.iter())
+        .map(|(&e, &sm)| Bf16::from_packed(sm, e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_bit_patterns() {
+        let weights: Vec<Bf16> = (0..=u16::MAX).map(Bf16::from_bits).collect();
+        let planes = split_planes(&weights);
+        assert_eq!(planes.len(), weights.len());
+        assert_eq!(recombine(&planes), weights);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let planes = split_planes(&[]);
+        assert!(planes.is_empty());
+        assert!(recombine(&planes).is_empty());
+    }
+
+    #[test]
+    fn planes_extract_correct_fields() {
+        let w = Bf16::from_f32(-2.5); // sign 1, exponent 128, mantissa 0x20
+        let planes = split_planes(&[w]);
+        assert_eq!(planes.exponents, vec![128]);
+        assert_eq!(planes.sign_mantissa, vec![0x80 | 0x20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "plane length mismatch")]
+    fn mismatched_planes_panic() {
+        let planes = Planes {
+            exponents: vec![1, 2],
+            sign_mantissa: vec![3],
+        };
+        let _ = recombine(&planes);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-stage double-buffered software pipelines (§4.3.3, Figure 10).
+//!
+//! ZipGEMM hides decompression behind computation with a two-level pipeline:
+//! tile-wise double buffering overlaps global→shared transfers with compute,
+//! and slice-wise interleaving overlaps shared→register movement plus decode
+//! with Tensor-Core `mma`. In steady state a perfectly balanced pipeline
+//! runs at the speed of its slowest stage; this module models that plus the
+//! fill/drain overhead and an overlap-efficiency knob for barrier costs.
+
+
+/// One pipeline stage: a name and its per-iteration latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Human-readable stage label ("load", "decode", "mma", …).
+    pub name: &'static str,
+    /// Time per iteration in microseconds.
+    pub time_us: f64,
+}
+
+impl Stage {
+    /// Creates a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_us` is negative or non-finite.
+    pub fn new(name: &'static str, time_us: f64) -> Self {
+        assert!(time_us >= 0.0 && time_us.is_finite(), "stage time must be >= 0");
+        Stage { name, time_us }
+    }
+}
+
+/// A software pipeline over `iterations` loop bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+    iterations: u64,
+    overlap_efficiency: f64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with ideal overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Stage>, iterations: u64) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        Pipeline {
+            stages,
+            iterations,
+            overlap_efficiency: 1.0,
+        }
+    }
+
+    /// Derates the overlap (barriers, issue contention): the steady-state
+    /// iteration time becomes `bottleneck / efficiency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff` is not in `(0, 1]`.
+    pub fn with_overlap_efficiency(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency in (0,1]");
+        self.overlap_efficiency = eff;
+        self
+    }
+
+    /// The slowest stage's per-iteration time.
+    pub fn bottleneck_us(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.time_us)
+            .fold(0.0, f64::max)
+    }
+
+    /// The bottleneck stage's name.
+    pub fn bottleneck_stage(&self) -> &'static str {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.time_us.partial_cmp(&b.time_us).expect("finite"))
+            .expect("non-empty")
+            .name
+    }
+
+    /// Total pipelined execution time: fill (all stages once) + steady state
+    /// (`iterations - 1` bottleneck periods), derated by overlap efficiency.
+    pub fn total_us(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        let fill: f64 = self.stages.iter().map(|s| s.time_us).sum();
+        let steady = self.bottleneck_us() / self.overlap_efficiency;
+        fill + steady * (self.iterations - 1) as f64
+    }
+
+    /// Time if the stages ran back-to-back with no overlap at all — the
+    /// decoupled-pipeline upper bound.
+    pub fn serial_us(&self) -> f64 {
+        let per_iter: f64 = self.stages.iter().map(|s| s.time_us).sum();
+        per_iter * self.iterations as f64
+    }
+
+    /// Fraction of the serial time hidden by pipelining.
+    pub fn overlap_gain(&self) -> f64 {
+        let serial = self.serial_us();
+        if serial == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total_us() / serial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_stage(iter: u64) -> Pipeline {
+        Pipeline::new(
+            vec![
+                Stage::new("load", 2.0),
+                Stage::new("decode", 1.0),
+                Stage::new("mma", 3.0),
+            ],
+            iter,
+        )
+    }
+
+    #[test]
+    fn bottleneck_identified() {
+        let p = three_stage(10);
+        assert_eq!(p.bottleneck_us(), 3.0);
+        assert_eq!(p.bottleneck_stage(), "mma");
+    }
+
+    #[test]
+    fn steady_state_at_bottleneck_rate() {
+        let p = three_stage(100);
+        // fill 6 + 99 * 3 = 303.
+        assert!((p.total_us() - 303.0).abs() < 1e-12);
+        // Serial would be 600.
+        assert!((p.serial_us() - 600.0).abs() < 1e-12);
+        assert!(p.overlap_gain() > 0.49);
+    }
+
+    #[test]
+    fn single_iteration_has_no_overlap() {
+        let p = three_stage(1);
+        assert!((p.total_us() - 6.0).abs() < 1e-12);
+        assert_eq!(p.overlap_gain(), 0.0);
+    }
+
+    #[test]
+    fn zero_iterations_cost_nothing() {
+        assert_eq!(three_stage(0).total_us(), 0.0);
+    }
+
+    #[test]
+    fn overlap_derating() {
+        let ideal = three_stage(100);
+        let derated = three_stage(100).with_overlap_efficiency(0.75);
+        // Steady-state periods inflate by 1/0.75.
+        let expect = 6.0 + 99.0 * 3.0 / 0.75;
+        assert!((derated.total_us() - expect).abs() < 1e-9);
+        assert!(derated.total_us() > ideal.total_us());
+    }
+
+    #[test]
+    fn pipeline_never_beats_bottleneck_bound() {
+        let p = three_stage(1000);
+        assert!(p.total_us() >= 1000.0 * 3.0);
+    }
+
+    #[test]
+    fn decode_hidden_when_not_bottleneck() {
+        // The ZipGEMM claim: decode (ALU) time is hidden as long as it is
+        // shorter than the mma stage.
+        let without_decode = Pipeline::new(
+            vec![Stage::new("load", 2.0), Stage::new("mma", 3.0)],
+            100,
+        );
+        let with_decode = three_stage(100);
+        assert!((with_decode.total_us() - without_decode.total_us() - 1.0).abs() < 1e-9);
+        // Only the fill differs (one extra stage), not the steady state.
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        let _ = Pipeline::new(vec![], 1);
+    }
+}

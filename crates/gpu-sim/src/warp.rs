@@ -1,0 +1,186 @@
+//! SIMT lockstep execution and divergence penalties.
+//!
+//! A warp of 32 threads executes in lockstep: when per-lane work differs
+//! (variable-length symbol decoding, data-dependent loops), every lane pays
+//! for the slowest. This module prices that effect both exactly — from a
+//! per-lane work assignment — and statistically, from a work distribution,
+//! which is how the kernel models consume the entropy crate's
+//! [`DecodeTrace`](https://docs.rs/zipserv-entropy)-style length histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Lanes per warp on every modeled architecture.
+pub const WARP_SIZE: usize = 32;
+
+/// Executes one warp in lockstep: given each lane's work units, the warp
+/// retires `max(work)` units while only `sum(work)` are useful.
+///
+/// Returns `(executed_units, useful_units)`.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_gpu_sim::warp::lockstep_cost;
+///
+/// // Uniform work: no waste.
+/// let (exec, useful) = lockstep_cost(&[4; 32]);
+/// assert_eq!(exec, 4 * 32);
+/// assert_eq!(useful, 4 * 32);
+///
+/// // One slow lane stalls the other 31.
+/// let mut lanes = [1u64; 32];
+/// lanes[7] = 16;
+/// let (exec, useful) = lockstep_cost(&lanes);
+/// assert_eq!(exec, 16 * 32);
+/// assert_eq!(useful, 31 + 16);
+/// ```
+pub fn lockstep_cost(lane_work: &[u64]) -> (u64, u64) {
+    assert!(!lane_work.is_empty(), "warp needs at least one lane");
+    let max = *lane_work.iter().max().expect("non-empty");
+    let useful: u64 = lane_work.iter().sum();
+    (max * lane_work.len() as u64, useful)
+}
+
+/// Divergence factor of a whole work assignment split into warps of 32:
+/// executed / useful ≥ 1.
+pub fn divergence_factor(work: &[u64]) -> f64 {
+    if work.is_empty() {
+        return 1.0;
+    }
+    let mut executed = 0u64;
+    let mut useful = 0u64;
+    for warp in work.chunks(WARP_SIZE) {
+        let (e, u) = lockstep_cost(warp);
+        executed += e;
+        useful += u;
+    }
+    if useful == 0 {
+        1.0
+    } else {
+        executed as f64 / useful as f64
+    }
+}
+
+/// A discrete distribution of per-symbol work (e.g., Huffman code lengths),
+/// used to compute the *expected* divergence of warps drawing 32 iid
+/// symbols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkDistribution {
+    /// `(work_units, probability)` pairs; probabilities sum to 1.
+    pub buckets: Vec<(u64, f64)>,
+}
+
+impl WorkDistribution {
+    /// Builds a distribution from a histogram of work units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is all zeros.
+    pub fn from_histogram(histogram: &[u64]) -> Self {
+        let total: u64 = histogram.iter().sum();
+        assert!(total > 0, "histogram must not be empty");
+        let buckets = histogram
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(w, &n)| (w as u64, n as f64 / total as f64))
+            .collect();
+        WorkDistribution { buckets }
+    }
+
+    /// Mean work per symbol.
+    pub fn mean(&self) -> f64 {
+        self.buckets.iter().map(|&(w, p)| w as f64 * p).sum()
+    }
+
+    /// Expected maximum of `n` iid draws: `Σ_w P(max ≥ w)`.
+    pub fn expected_max(&self, n: u32) -> f64 {
+        let mut sorted = self.buckets.clone();
+        sorted.sort_by_key(|&(w, _)| w);
+        let mut expected = 0.0;
+        let mut cdf_below = 0.0f64;
+        let mut prev_w = 0u64;
+        for &(w, p) in &sorted {
+            // P(all draws < w) = cdf_below^n; contributes (w - prev_w) * P(max >= w)
+            let p_max_ge = 1.0 - cdf_below.powi(n as i32);
+            expected += (w - prev_w) as f64 * p_max_ge;
+            cdf_below += p;
+            prev_w = w;
+        }
+        expected
+    }
+
+    /// Expected lockstep divergence factor for warps of 32 iid draws:
+    /// `E[max of 32] / mean`.
+    pub fn warp_divergence(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            1.0
+        } else {
+            (self.expected_max(WARP_SIZE as u32) / mean).max(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_work_has_unit_divergence() {
+        assert_eq!(divergence_factor(&[5; 64]), 1.0);
+        let d = WorkDistribution::from_histogram(&[0, 0, 0, 100]);
+        assert_eq!(d.warp_divergence(), 1.0);
+        assert_eq!(d.mean(), 3.0);
+    }
+
+    #[test]
+    fn skewed_work_diverges() {
+        // 31 lanes with 1 unit, 1 lane with 32 units, repeated.
+        let mut work = vec![1u64; 64];
+        work[0] = 32;
+        work[32] = 32;
+        let f = divergence_factor(&work);
+        assert!((f - (32.0 * 32.0) / (31.0 + 32.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_warp_handled() {
+        let f = divergence_factor(&[1, 2, 3]);
+        assert!((f - 9.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_work_is_neutral() {
+        assert_eq!(divergence_factor(&[]), 1.0);
+    }
+
+    #[test]
+    fn expected_max_bounds() {
+        let d = WorkDistribution::from_histogram(&[0, 50, 0, 0, 0, 0, 0, 0, 50]);
+        // Mean = 4.5; max of 32 draws is almost surely 8.
+        assert!((d.mean() - 4.5).abs() < 1e-12);
+        let m = d.expected_max(32);
+        assert!(m > 7.99 && m <= 8.0, "expected max {m}");
+        assert!(d.warp_divergence() > 1.7);
+    }
+
+    #[test]
+    fn expected_max_of_one_draw_is_mean() {
+        let d = WorkDistribution::from_histogram(&[0, 10, 20, 30]);
+        assert!((d.expected_max(1) - d.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_grows_with_spread() {
+        let narrow = WorkDistribution::from_histogram(&[0, 0, 0, 90, 10]);
+        let wide = WorkDistribution::from_histogram(&[0, 45, 0, 0, 0, 45, 0, 0, 0, 0, 10]);
+        assert!(wide.warp_divergence() > narrow.warp_divergence());
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram must not be empty")]
+    fn empty_histogram_panics() {
+        let _ = WorkDistribution::from_histogram(&[0, 0]);
+    }
+}

@@ -1,0 +1,203 @@
+//! The cuBLAS_TC-like dense GEMM baseline: an autotuned Tensor-Core GEMM
+//! cost model.
+//!
+//! cuBLAS ships hundreds of pre-tuned tile configurations and picks per
+//! shape; the model mirrors that by searching a candidate set of block-tile
+//! and split-K configurations and keeping the fastest. Datacenter parts
+//! (A100/H800) reach a markedly lower fraction of their HBM bandwidth on
+//! skinny decode-stage shapes — the measured effect behind the paper's §6.3
+//! cross-tier comparison — captured by [`gemm_mem_efficiency`].
+
+use zipserv_gpu_sim::device::{Arch, DeviceSpec, Tier};
+use zipserv_gpu_sim::kernel::{ExecutionMode, KernelProfile, KernelTime};
+use zipserv_gpu_sim::memory::DramTraffic;
+use zipserv_gpu_sim::occupancy::LaunchGrid;
+use zipserv_gpu_sim::roofline::GemmShape;
+
+/// Achievable fraction of copy bandwidth for a tuned dense GEMM at `n`
+/// tokens in flight.
+///
+/// Consumer (inference-optimized) parts keep their GDDR pipes busy even on
+/// skinny matrix-vector-like shapes; HBM parts need far more concurrency
+/// and reach only ~54–65% of peak there (A100 measured ≈1.1 TB/s of
+/// 2.04 TB/s on the paper's decode shapes). Efficiency recovers for
+/// prefill-sized `n`.
+pub fn gemm_mem_efficiency(spec: &DeviceSpec, n: u64) -> f64 {
+    let skinny = match spec.tier {
+        Tier::Consumer => 0.91,
+        Tier::Datacenter => match spec.arch {
+            Arch::Ampere => 0.63,
+            Arch::Hopper => 0.77,
+            _ => 0.80,
+        },
+    };
+    let full = 0.95;
+    if n <= 128 {
+        skinny
+    } else if n >= 2048 {
+        full
+    } else {
+        // Log-linear interpolation between the regimes.
+        let t = ((n as f64).ln() - (128f64).ln()) / ((2048f64).ln() - (128f64).ln());
+        skinny + t * (full - skinny)
+    }
+}
+
+/// Candidate block-tile configurations (M×N) of the autotuner.
+const TILE_CONFIGS: [(u64, u64); 6] = [
+    (256, 128),
+    (128, 128),
+    (128, 64),
+    (64, 64),
+    (128, 32),
+    (64, 32),
+];
+
+/// The cuBLAS_TC-like kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CublasTc;
+
+impl CublasTc {
+    /// Builds the cost sheet for one candidate configuration.
+    fn profile_for(
+        shape: GemmShape,
+        spec: &DeviceSpec,
+        tile: (u64, u64),
+        split_k: u64,
+    ) -> KernelProfile {
+        let read = shape.weight_bytes() + shape.activation_bytes();
+        // Split-K spills FP32 partials to global memory and re-reads them.
+        let partial_bytes = if split_k > 1 {
+            8 * shape.m * shape.n * (split_k - 1)
+        } else {
+            0
+        };
+        let mut p = KernelProfile::empty("cublas_tc");
+        p.dram = DramTraffic::streaming(read + partial_bytes / 2, shape.output_bytes() + partial_bytes / 2)
+            .with_efficiency(gemm_mem_efficiency(spec, shape.n));
+        p.tensor_flops = shape.flops();
+        p.grid = LaunchGrid::for_gemm(shape.m, shape.n, tile.0, tile.1, split_k).with_residency(2);
+        p.mode = ExecutionMode::Pipelined {
+            overlap_efficiency: 0.93,
+        };
+        p
+    }
+
+    /// Autotunes and returns the best configuration's cost sheet.
+    pub fn kernel_profile(shape: GemmShape, spec: &DeviceSpec) -> KernelProfile {
+        let mut best: Option<(f64, KernelProfile)> = None;
+        for &tile in &TILE_CONFIGS {
+            for split_k in [1u64, 2, 4, 8] {
+                if split_k > 1 && shape.k < 1024 * split_k {
+                    continue; // not enough reduction depth to split
+                }
+                let p = Self::profile_for(shape, spec, tile, split_k);
+                let t = p.execute(spec).total_us;
+                if best.as_ref().map(|(bt, _)| t < *bt).unwrap_or(true) {
+                    best = Some((t, p));
+                }
+            }
+        }
+        best.expect("candidate set is non-empty").1
+    }
+
+    /// Executes the autotuned kernel on a device.
+    pub fn time(shape: GemmShape, spec: &DeviceSpec) -> KernelTime {
+        Self::kernel_profile(shape, spec).execute(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipserv_gpu_sim::device::Gpu;
+
+    /// The paper's micro-analysis shape: LLaMA3.1-8B GateUp at batch 32.
+    fn gateup() -> GemmShape {
+        GemmShape::new(28672, 4096, 32)
+    }
+
+    #[test]
+    fn rtx4090_gateup_latency_in_paper_band() {
+        // §7 implies cuBLAS ≈ 0.26–0.30 ms for this shape on the RTX4090
+        // (ZipGEMM at 0.194 ms with ~1.4× speedup).
+        let t = CublasTc::time(gateup(), &Gpu::Rtx4090.spec());
+        assert!(
+            t.total_us > 240.0 && t.total_us < 330.0,
+            "got {} us",
+            t.total_us
+        );
+        assert_eq!(t.bottleneck(), "mem");
+    }
+
+    #[test]
+    fn a100_matches_measured_skinny_inefficiency() {
+        // §6.3: A100 cuBLAS ≈ 0.215 ms on this shape (≈54% of HBM peak).
+        let t = CublasTc::time(gateup(), &Gpu::A100.spec());
+        assert!(
+            t.total_us > 190.0 && t.total_us < 260.0,
+            "got {} us",
+            t.total_us
+        );
+    }
+
+    #[test]
+    fn h800_beats_rtx5090_by_about_half() {
+        // §6.3: a standard RTX5090 trails the H800 by 53.3% on LLaMA3.1-8B.
+        let h800 = CublasTc::time(gateup(), &Gpu::H800.spec()).total_us;
+        let r5090 = CublasTc::time(gateup(), &Gpu::Rtx5090.spec()).total_us;
+        let gap = r5090 / h800 - 1.0;
+        assert!(gap > 0.30 && gap < 0.75, "gap {gap}");
+    }
+
+    #[test]
+    fn prefill_shapes_become_compute_bound() {
+        let spec = Gpu::Rtx4090.spec();
+        let t = CublasTc::time(GemmShape::new(28672, 4096, 8192), &spec);
+        assert_eq!(t.bottleneck(), "tensor");
+    }
+
+    #[test]
+    fn autotuner_beats_any_fixed_config() {
+        let spec = Gpu::L40s.spec();
+        for shape in [
+            GemmShape::new(4096, 4096, 32),
+            GemmShape::new(28672, 4096, 8),
+            GemmShape::new(6144, 4096, 16),
+        ] {
+            let tuned = CublasTc::time(shape, &spec).total_us;
+            let fixed = CublasTc::profile_for(shape, &spec, (128, 128), 1)
+                .execute(&spec)
+                .total_us;
+            assert!(tuned <= fixed + 1e-9, "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn efficiency_interpolates_monotonically() {
+        let spec = Gpu::A100.spec();
+        let mut last = 0.0;
+        for n in [8, 128, 256, 512, 1024, 2048, 8192] {
+            let e = gemm_mem_efficiency(&spec, n);
+            assert!(e >= last, "n={n}");
+            last = e;
+        }
+        assert!((gemm_mem_efficiency(&spec, 8) - 0.63).abs() < 1e-12);
+        assert!((gemm_mem_efficiency(&spec, 4096) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consumer_parts_keep_skinny_efficiency() {
+        assert!(gemm_mem_efficiency(&Gpu::Rtx4090.spec(), 32) > 0.9);
+        assert!(gemm_mem_efficiency(&Gpu::L40s.spec(), 32) > 0.9);
+    }
+
+    #[test]
+    fn larger_batch_needs_more_time_but_less_per_token() {
+        let spec = Gpu::Rtx4090.spec();
+        let t8 = CublasTc::time(GemmShape::new(28672, 4096, 8), &spec).total_us;
+        let t64 = CublasTc::time(GemmShape::new(28672, 4096, 64), &spec).total_us;
+        assert!(t64 > t8 * 0.95, "more tokens is never faster in total");
+        assert!(t64 / 64.0 < t8 / 8.0, "amortization per token");
+    }
+}

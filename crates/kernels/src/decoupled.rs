@@ -1,0 +1,310 @@
+//! Decoupled decompress-then-GEMM pipelines: the DietGPU, nvCOMP and
+//! DFloat11 baselines of Figures 1, 11 and 13.
+//!
+//! Each baseline couples a *real* codec (for compression ratios and
+//! bit-exact round-trips, via `zipserv-entropy`) with a GPU decompression
+//! cost model pinned to the bandwidth efficiencies the paper measures on
+//! entropy-coded decoders: 43.7% for DietGPU's rANS, 76.5% for DFloat11's
+//! chunked Huffman (§3.2), with nvCOMP's generic rANS in between.
+
+use crate::cublas_model::CublasTc;
+use zipserv_bf16::Bf16;
+use zipserv_entropy::huffman::ChunkedHuffman;
+use zipserv_entropy::rans::RansBlob;
+use zipserv_entropy::split::{recombine, split_planes, Planes};
+use zipserv_entropy::CodecError;
+use zipserv_gpu_sim::device::DeviceSpec;
+use zipserv_gpu_sim::instr::{InstrKind, InstrMix};
+use zipserv_gpu_sim::kernel::{ExecutionMode, KernelProfile, KernelTime};
+use zipserv_gpu_sim::memory::{DramTraffic, SharedMemTraffic};
+use zipserv_gpu_sim::occupancy::LaunchGrid;
+use zipserv_gpu_sim::roofline::GemmShape;
+
+/// The entropy-coded baseline codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineCodec {
+    /// DietGPU: warp-interleaved rANS.
+    DietGpu,
+    /// nvCOMP: general-purpose rANS.
+    NvComp,
+    /// DFloat11: chunked canonical Huffman.
+    DFloat11,
+}
+
+impl BaselineCodec {
+    /// All baselines in the paper's order.
+    pub const ALL: [BaselineCodec; 3] =
+        [BaselineCodec::DietGpu, BaselineCodec::NvComp, BaselineCodec::DFloat11];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineCodec::DietGpu => "DietGPU",
+            BaselineCodec::NvComp => "nvCOMP",
+            BaselineCodec::DFloat11 => "DFloat11",
+        }
+    }
+
+    /// Measured fraction of peak bandwidth the decoder achieves (§3.2).
+    pub fn bandwidth_efficiency(self) -> f64 {
+        match self {
+            BaselineCodec::DietGpu => 0.437,
+            BaselineCodec::NvComp => 0.50,
+            BaselineCodec::DFloat11 => 0.765,
+        }
+    }
+
+    /// Compressed size as a fraction of raw BF16, given the exponent-stream
+    /// entropy: 8 raw sign/mantissa bits plus entropy-coded exponents with a
+    /// per-codec framing overhead.
+    pub fn compression_fraction(self, exponent_entropy_bits: f64) -> f64 {
+        let overhead = match self {
+            BaselineCodec::DietGpu => 1.03,  // interleaved stream states
+            BaselineCodec::NvComp => 1.06,   // generic framing
+            BaselineCodec::DFloat11 => 1.08, // Huffman integer code lengths + chunk offsets
+        };
+        (8.0 + exponent_entropy_bits * overhead) / 16.0
+    }
+
+    /// Bit-exact round-trip through the *real* codec: compress the weight
+    /// stream's exponent plane, return compressed size and the decoded
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors (e.g. empty input).
+    pub fn roundtrip(self, weights: &[Bf16]) -> Result<(usize, Vec<Bf16>), CodecError> {
+        let planes = split_planes(weights);
+        let (exp_compressed_bytes, exponents) = match self {
+            BaselineCodec::DietGpu => {
+                let blob = RansBlob::compress(&planes.exponents, 32)?;
+                (blob.stats().compressed_bytes, blob.decompress()?)
+            }
+            BaselineCodec::NvComp => {
+                let blob = RansBlob::compress(&planes.exponents, 8)?;
+                (blob.stats().compressed_bytes, blob.decompress()?)
+            }
+            BaselineCodec::DFloat11 => {
+                let blob =
+                    ChunkedHuffman::compress(&planes.exponents, ChunkedHuffman::DEFAULT_CHUNK_SYMBOLS)?;
+                (blob.stats().compressed_bytes, blob.decompress()?)
+            }
+        };
+        let restored = recombine(&Planes {
+            exponents,
+            sign_mantissa: planes.sign_mantissa.clone(),
+        });
+        Ok((exp_compressed_bytes + planes.sign_mantissa.len(), restored))
+    }
+
+    /// The decompression kernel's cost sheet for an `m × k` BF16 matrix.
+    ///
+    /// Reads the compressed stream, writes the dense matrix; the achieved
+    /// bandwidth is the measured efficiency. rANS decoders additionally
+    /// hammer shared-memory lookup tables (DietGPU's millions of bank
+    /// conflicts in Figure 12(c)); Huffman decoders pay bit-serial ALU work
+    /// with warp divergence.
+    pub fn decomp_profile(self, m: u64, k: u64, exponent_entropy_bits: f64) -> KernelProfile {
+        let raw = 2 * m * k;
+        let compressed =
+            (raw as f64 * self.compression_fraction(exponent_entropy_bits)) as u64;
+        let elems = m * k;
+
+        let mut p = KernelProfile::empty(match self {
+            BaselineCodec::DietGpu => "dietgpu-decomp",
+            BaselineCodec::NvComp => "nvcomp-decomp",
+            BaselineCodec::DFloat11 => "dfloat11-decomp",
+        });
+        p.dram = DramTraffic::streaming(compressed, raw)
+            .with_efficiency(self.bandwidth_efficiency());
+        let mut alu = InstrMix::new();
+        match self {
+            BaselineCodec::DietGpu | BaselineCodec::NvComp => {
+                // State update + slot lookup per symbol.
+                alu.add(InstrKind::Iadd, 4 * elems);
+                alu.add(InstrKind::Shift, 3 * elems);
+                alu.add(InstrKind::Lop3, 2 * elems);
+                // Table-driven decode: one LUT transaction per symbol with
+                // heavy bank conflicts.
+                p.smem = SharedMemTraffic::with_conflicts(elems / 8, 6.0);
+                p.divergence = 1.3; // renormalization branch
+            }
+            BaselineCodec::DFloat11 => {
+                // Bit-serial symbol extraction: ~3.3 iterations × 3 ops.
+                alu.add(InstrKind::Iadd, 5 * elems);
+                alu.add(InstrKind::Shift, 5 * elems);
+                alu.add(InstrKind::Sel, 3 * elems);
+                p.smem = SharedMemTraffic::with_conflicts(elems / 16, 2.0);
+                p.divergence = 1.8; // variable-length symbols in lockstep
+            }
+        }
+        p.alu = alu;
+        p.grid = LaunchGrid {
+            blocks: (elems / 65536).max(64),
+            blocks_per_sm: 2,
+        };
+        p.mode = ExecutionMode::Serial; // staged decode: no compute to hide behind
+        p
+    }
+}
+
+impl core::fmt::Display for BaselineCodec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A decoupled pipeline: decompress the whole weight matrix to global
+/// memory, then run the dense GEMM on it (Figure 4).
+#[derive(Debug, Clone, Copy)]
+pub struct DecoupledPipeline {
+    /// Which codec performs the decompression stage.
+    pub codec: BaselineCodec,
+    /// Exponent-stream entropy assumed for sizing (bits).
+    pub exponent_entropy_bits: f64,
+}
+
+/// The timing breakdown of one decoupled pipeline invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineTime {
+    /// Decompression stage (µs).
+    pub decomp_us: f64,
+    /// Dense GEMM stage (µs).
+    pub gemm_us: f64,
+}
+
+impl PipelineTime {
+    /// Total pipeline latency.
+    pub fn total_us(&self) -> f64 {
+        self.decomp_us + self.gemm_us
+    }
+}
+
+impl DecoupledPipeline {
+    /// A pipeline at the paper's typical exponent entropy (~2.65 bits).
+    pub fn new(codec: BaselineCodec) -> Self {
+        DecoupledPipeline {
+            codec,
+            exponent_entropy_bits: 2.65,
+        }
+    }
+
+    /// Times the full decompress-then-GEMM sequence on a device.
+    pub fn time(&self, shape: GemmShape, spec: &DeviceSpec) -> PipelineTime {
+        let decomp = self
+            .codec
+            .decomp_profile(shape.m, shape.k, self.exponent_entropy_bits)
+            .execute(spec);
+        let gemm = CublasTc::time(shape, spec);
+        PipelineTime {
+            decomp_us: decomp.total_us,
+            gemm_us: gemm.total_us,
+        }
+    }
+
+    /// Times only the decompression stage (Figure 13).
+    pub fn decomp_time(&self, m: u64, k: u64, spec: &DeviceSpec) -> KernelTime {
+        self.codec
+            .decomp_profile(m, k, self.exponent_entropy_bits)
+            .execute(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipserv_bf16::gen::WeightGen;
+    use zipserv_gpu_sim::device::Gpu;
+
+    #[test]
+    fn real_codec_roundtrips_are_bit_exact() {
+        let weights = WeightGen::new(0.018).seed(41).vector(20_000);
+        for codec in BaselineCodec::ALL {
+            let (bytes, restored) = codec.roundtrip(&weights).unwrap();
+            assert_eq!(restored, weights, "{codec}");
+            // Compressed below raw (40 KB) but above the 8-bit floor (20 KB).
+            assert!(bytes < 36_000 && bytes > 20_000, "{codec}: {bytes}");
+        }
+    }
+
+    #[test]
+    fn compression_fractions_track_real_codecs() {
+        let weights = WeightGen::new(0.018).seed(42).vector(100_000);
+        let entropy = {
+            let h = zipserv_bf16::stats::ExponentHistogram::from_values(weights.iter().copied());
+            h.entropy_bits()
+        };
+        for codec in BaselineCodec::ALL {
+            let (bytes, _) = codec.roundtrip(&weights).unwrap();
+            let real_fraction = bytes as f64 / (2.0 * weights.len() as f64);
+            let model_fraction = codec.compression_fraction(entropy);
+            assert!(
+                (real_fraction - model_fraction).abs() < 0.03,
+                "{codec}: real {real_fraction} model {model_fraction}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_decompression_dominates_gemm() {
+        // Figure 1: the decoupled decompression step alone takes 1.56–3.44×
+        // the inference GEMM time on the L40S GateUp layers.
+        let spec = Gpu::L40s.spec();
+        let shape = GemmShape::new(28672, 4096, 32);
+        for codec in BaselineCodec::ALL {
+            let t = DecoupledPipeline::new(codec).time(shape, &spec);
+            let ratio = t.decomp_us / t.gemm_us;
+            assert!(
+                ratio > 1.3 && ratio < 4.2,
+                "{codec}: decomp/gemm = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn decoupled_pipelines_slow_down_inference() {
+        // Figure 11: DietGPU/nvCOMP/DFloat11 land at 0.17–0.34× of cuBLAS.
+        let spec = Gpu::Rtx4090.spec();
+        let shape = GemmShape::new(28672, 4096, 32);
+        let dense = CublasTc::time(shape, &spec).total_us;
+        let expected = [
+            (BaselineCodec::DietGpu, 0.13, 0.26),
+            (BaselineCodec::NvComp, 0.15, 0.30),
+            (BaselineCodec::DFloat11, 0.24, 0.42),
+        ];
+        for (codec, lo, hi) in expected {
+            let t = DecoupledPipeline::new(codec).time(shape, &spec);
+            let speedup = dense / t.total_us();
+            assert!(
+                speedup > lo && speedup < hi,
+                "{codec}: speedup {speedup} outside [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn dfloat11_is_the_fastest_baseline_decoder() {
+        let spec = Gpu::L40s.spec();
+        let times: Vec<f64> = BaselineCodec::ALL
+            .iter()
+            .map(|&c| DecoupledPipeline::new(c).decomp_time(28672, 4096, &spec).total_us)
+            .collect();
+        // DietGPU slowest, DFloat11 fastest.
+        assert!(times[2] < times[1] && times[1] < times[0], "{times:?}");
+    }
+
+    #[test]
+    fn rans_baselines_have_bank_conflicts() {
+        let p = BaselineCodec::DietGpu.decomp_profile(4096, 4096, 2.65);
+        assert!(p.smem.conflict_count() > 1e6, "Figure 12(c): millions of conflicts");
+        let z = BaselineCodec::DFloat11.decomp_profile(4096, 4096, 2.65);
+        assert!(z.smem.conflict_count() < p.smem.conflict_count());
+    }
+
+    #[test]
+    fn huffman_divergence_exceeds_rans() {
+        let h = BaselineCodec::DFloat11.decomp_profile(1024, 1024, 2.65);
+        let r = BaselineCodec::DietGpu.decomp_profile(1024, 1024, 2.65);
+        assert!(h.divergence > r.divergence);
+    }
+}

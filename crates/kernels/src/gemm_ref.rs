@@ -1,0 +1,146 @@
+//! The dense reference GEMM: the correctness oracle.
+//!
+//! `Y = W · X` with BF16 operands and FP32 accumulation in ascending-`k`
+//! order — the exact accumulation contract the fused ZipGEMM honors, so the
+//! two can be compared bitwise.
+
+use zipserv_bf16::{Bf16, Matrix};
+
+/// Computes `Y = W · X` with FP32 accumulation (ascending `k`).
+///
+/// # Panics
+///
+/// Panics if `x.rows() != w.cols()`.
+///
+/// # Example
+///
+/// ```
+/// use zipserv_bf16::{Bf16, Matrix};
+/// use zipserv_kernels::gemm_ref::gemm;
+///
+/// let w = Matrix::from_fn(2, 2, |r, c| Bf16::from_f32((r + c) as f32));
+/// let x = Matrix::from_fn(2, 1, |_, _| Bf16::ONE);
+/// let y = gemm(&w, &x);
+/// assert_eq!(y[(0, 0)], 1.0);
+/// assert_eq!(y[(1, 0)], 3.0);
+/// ```
+pub fn gemm(w: &Matrix<Bf16>, x: &Matrix<Bf16>) -> Matrix<f32> {
+    assert_eq!(x.rows(), w.cols(), "inner dimensions must agree");
+    let (m, k, n) = (w.rows(), w.cols(), x.cols());
+    Matrix::from_fn(m, n, |r, c| {
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc += w[(r, kk)].to_f32() * x[(kk, c)].to_f32();
+        }
+        acc
+    })
+}
+
+/// The reference GEMM rounded to BF16 output.
+pub fn gemm_bf16(w: &Matrix<Bf16>, x: &Matrix<Bf16>) -> Matrix<Bf16> {
+    let y = gemm(w, x);
+    Matrix::from_fn(y.rows(), y.cols(), |r, c| Bf16::from_f32(y[(r, c)]))
+}
+
+/// A cache-blocked variant producing identical results (ascending `k`
+/// within and across tiles), demonstrating the accumulation-order contract.
+pub fn gemm_tiled(w: &Matrix<Bf16>, x: &Matrix<Bf16>, tile_k: usize) -> Matrix<f32> {
+    assert_eq!(x.rows(), w.cols(), "inner dimensions must agree");
+    assert!(tile_k > 0, "tile must be nonzero");
+    let (m, k, n) = (w.rows(), w.cols(), x.cols());
+    let mut y = Matrix::<f32>::zeros(m, n);
+    for k0 in (0..k).step_by(tile_k) {
+        let k1 = (k0 + tile_k).min(k);
+        for r in 0..m {
+            for c in 0..n {
+                let mut acc = y[(r, c)];
+                for kk in k0..k1 {
+                    acc += w[(r, kk)].to_f32() * x[(kk, c)].to_f32();
+                }
+                y[(r, c)] = acc;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipserv_bf16::gen::WeightGen;
+
+    #[test]
+    fn identity_multiplication() {
+        let eye = Matrix::from_fn(4, 4, |r, c| {
+            if r == c {
+                Bf16::ONE
+            } else {
+                Bf16::ZERO
+            }
+        });
+        let x = WeightGen::new(0.1).seed(1).matrix(4, 3);
+        let y = gemm(&eye, &x);
+        for r in 0..4 {
+            for c in 0..3 {
+                assert_eq!(y[(r, c)], x[(r, c)].to_f32());
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_flat_bitwise() {
+        let w = WeightGen::new(0.05).seed(2).matrix(32, 48);
+        let x = WeightGen::new(0.5).seed(3).matrix(48, 8);
+        let flat = gemm(&w, &x);
+        for tile_k in [1, 7, 8, 16, 48, 100] {
+            let tiled = gemm_tiled(&w, &x, tile_k);
+            assert_eq!(flat.as_slice(), tiled.as_slice(), "tile_k {tile_k}");
+        }
+    }
+
+    #[test]
+    fn known_small_product() {
+        let w = Matrix::from_vec(
+            2,
+            3,
+            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]
+                .into_iter()
+                .map(Bf16::from_f32)
+                .collect(),
+        );
+        let x = Matrix::from_vec(
+            3,
+            2,
+            vec![7.0f32, 8.0, 9.0, 10.0, 11.0, 12.0]
+                .into_iter()
+                .map(Bf16::from_f32)
+                .collect(),
+        );
+        let y = gemm(&w, &x);
+        assert_eq!(y[(0, 0)], 58.0);
+        assert_eq!(y[(0, 1)], 64.0);
+        assert_eq!(y[(1, 0)], 139.0);
+        assert_eq!(y[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn bf16_output_is_rounded() {
+        let w = WeightGen::new(0.05).seed(4).matrix(16, 16);
+        let x = WeightGen::new(0.5).seed(5).matrix(16, 4);
+        let f = gemm(&w, &x);
+        let b = gemm_bf16(&w, &x);
+        for r in 0..16 {
+            for c in 0..4 {
+                assert_eq!(b[(r, c)], Bf16::from_f32(f[(r, c)]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let w = Matrix::<Bf16>::zeros(4, 4);
+        let x = Matrix::<Bf16>::zeros(3, 2);
+        let _ = gemm(&w, &x);
+    }
+}

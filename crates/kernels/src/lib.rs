@@ -1,0 +1,32 @@
+//! The kernel zoo of the ZipServ evaluation.
+//!
+//! Everything Figures 11–15 and 18 compare lives here:
+//!
+//! * [`shapes`] — the layer-shape catalog extracted from the eleven LLMs the
+//!   paper benchmarks (LLaMA-3.1 8B/70B/405B, Qwen2.5 7–72B, Gemma-3
+//!   12B/27B, Mistral 24B/123B);
+//! * [`gemm_ref`] — the dense FP32-accumulate reference GEMM (the
+//!   correctness oracle for the fused kernel);
+//! * [`cublas_model`] — the cuBLAS_TC-like baseline: an autotuned dense
+//!   Tensor-Core GEMM cost model;
+//! * [`fused`] — the ZipGEMM launcher (functional + cost model, building on
+//!   `zipserv-core`);
+//! * [`decoupled`] — decompress-then-GEMM pipelines for DietGPU, nvCOMP,
+//!   DFloat11 and ZipServ-Decomp;
+//! * [`marlin_model`] — the lossy W8A16 comparator of §7.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cublas_model;
+pub mod decoupled;
+pub mod fused;
+pub mod gemm_ref;
+pub mod marlin_model;
+pub mod quant;
+pub mod shapes;
+
+pub use cublas_model::CublasTc;
+pub use decoupled::{BaselineCodec, DecoupledPipeline};
+pub use fused::FusedZipGemm;
+pub use shapes::{LayerKind, LlmModel};

@@ -1,0 +1,91 @@
+//! Attention cost model.
+//!
+//! Decode attention is a gather over the KV cache: per step it reads every
+//! cached token's K/V once (`batch × context × kv_bytes_per_token`), making
+//! it memory-bound like the linear layers. Prefill attention is quadratic
+//! in the prompt but compute-bound and fused (FlashAttention-style).
+
+use zipserv_gpu_sim::device::DeviceSpec;
+use zipserv_kernels::shapes::ModelDims;
+
+/// Decode-step attention time in microseconds: one token per sequence
+/// attends over `context` cached tokens.
+pub fn decode_attention_us(
+    dims: &ModelDims,
+    batch: u64,
+    context: u64,
+    spec: &DeviceSpec,
+    efficiency: f64,
+) -> f64 {
+    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
+    let kv_bytes = batch * context * dims.kv_bytes_per_token();
+    let mem_us = kv_bytes as f64 / (spec.effective_dram_bytes_per_us() * efficiency);
+    // One fused kernel launch per layer.
+    mem_us + dims.layers as f64 * spec.launch_overhead_us * 0.25
+}
+
+/// Prefill attention time in microseconds for `batch` prompts of
+/// `prompt_len` tokens (causal, FlashAttention-style: compute-bound).
+pub fn prefill_attention_us(
+    dims: &ModelDims,
+    batch: u64,
+    prompt_len: u64,
+    spec: &DeviceSpec,
+    efficiency: f64,
+) -> f64 {
+    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency in (0,1]");
+    // 2 matmuls (QK^T and PV) × 2 flops, causal halves the work.
+    let flops = 2.0
+        * 2.0
+        * (batch * dims.layers * dims.heads * dims.head_dim) as f64
+        * (prompt_len as f64).powi(2)
+        / 2.0;
+    flops / (spec.tensor_flops_per_us() * efficiency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipserv_gpu_sim::device::Gpu;
+    use zipserv_kernels::shapes::LlmModel;
+
+    #[test]
+    fn decode_attention_matches_figure17() {
+        // Figure 17: ~3.02 ms attention per decode step for LLaMA3.1-8B at
+        // batch 32, seq 1024 on the RTX4090.
+        let dims = LlmModel::Llama31_8b.dims();
+        let us = decode_attention_us(&dims, 32, 1024, &Gpu::Rtx4090.spec(), 0.8);
+        assert!(us > 2000.0 && us < 7000.0, "got {us} us");
+    }
+
+    #[test]
+    fn decode_attention_scales_linearly_with_context() {
+        let dims = LlmModel::Llama31_8b.dims();
+        let spec = Gpu::L40s.spec();
+        let t1 = decode_attention_us(&dims, 8, 512, &spec, 0.8);
+        let t2 = decode_attention_us(&dims, 8, 1024, &spec, 0.8);
+        assert!(t2 > 1.8 * t1 && t2 < 2.2 * t1);
+    }
+
+    #[test]
+    fn prefill_attention_is_quadratic() {
+        let dims = LlmModel::Llama31_8b.dims();
+        let spec = Gpu::Rtx4090.spec();
+        let t1 = prefill_attention_us(&dims, 1, 512, &spec, 0.6);
+        let t2 = prefill_attention_us(&dims, 1, 1024, &spec, 0.6);
+        assert!((t2 / t1 - 4.0).abs() < 0.2, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn gqa_reduces_decode_attention_cost() {
+        // LLaMA3.1-8B has 8 KV heads vs 32 Q heads; a hypothetical MHA model
+        // would read 4x the KV bytes.
+        let mut mha = LlmModel::Llama31_8b.dims();
+        mha.kv_heads = mha.heads;
+        let dims = LlmModel::Llama31_8b.dims();
+        let spec = Gpu::Rtx4090.spec();
+        let gqa = decode_attention_us(&dims, 16, 2048, &spec, 0.8);
+        let full = decode_attention_us(&mha, 16, 2048, &spec, 0.8);
+        assert!(full > 3.0 * gqa);
+    }
+}

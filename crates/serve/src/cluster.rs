@@ -1,0 +1,97 @@
+//! Deployment descriptions: which GPUs, how many, and how they talk.
+
+use zipserv_gpu_sim::device::{DeviceSpec, Gpu, Tier};
+
+/// A homogeneous GPU deployment running one model with tensor parallelism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCluster {
+    /// Device type.
+    pub gpu: Gpu,
+    /// Number of devices (= tensor-parallel degree).
+    pub count: u32,
+    /// Effective inter-GPU bandwidth per direction, GB/s.
+    pub link_gbps: f64,
+}
+
+impl GpuCluster {
+    /// A single GPU.
+    pub fn single(gpu: Gpu) -> Self {
+        GpuCluster {
+            gpu,
+            count: 1,
+            link_gbps: 0.0,
+        }
+    }
+
+    /// A tensor-parallel deployment with a tier-appropriate interconnect:
+    /// PCIe Gen4 (~22 GB/s effective) on consumer parts, NVLink-class
+    /// (~200 GB/s effective) on datacenter parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn tensor_parallel(gpu: Gpu, count: u32) -> Self {
+        assert!(count >= 1, "cluster needs at least one GPU");
+        let link = match gpu.spec().tier {
+            Tier::Consumer => 22.0,
+            Tier::Datacenter => 200.0,
+        };
+        GpuCluster {
+            gpu,
+            count,
+            link_gbps: if count > 1 { link } else { 0.0 },
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> DeviceSpec {
+        self.gpu.spec()
+    }
+
+    /// Aggregate DRAM capacity in bytes.
+    pub fn total_dram_bytes(&self) -> u64 {
+        (self.spec().dram_gib * self.count as f64 * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
+    /// Per-GPU DRAM capacity in bytes.
+    pub fn dram_bytes_per_gpu(&self) -> u64 {
+        (self.spec().dram_gib * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
+    /// Tensor-parallel degree.
+    pub fn tp(&self) -> u32 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_deployments() {
+        // §6.5: LLaMA3.1-8B on 1×RTX4090, Mistral-24B on 2×L40S,
+        // LLaMA3.1-70B on 4×L40S.
+        let a = GpuCluster::single(Gpu::Rtx4090);
+        assert_eq!(a.tp(), 1);
+        assert_eq!(a.link_gbps, 0.0);
+        let b = GpuCluster::tensor_parallel(Gpu::L40s, 2);
+        assert_eq!(b.tp(), 2);
+        assert!(b.link_gbps > 0.0);
+        let c = GpuCluster::tensor_parallel(Gpu::L40s, 4);
+        assert_eq!(c.total_dram_bytes(), 4 * c.dram_bytes_per_gpu());
+    }
+
+    #[test]
+    fn datacenter_links_are_faster() {
+        let consumer = GpuCluster::tensor_parallel(Gpu::L40s, 2);
+        let dc = GpuCluster::tensor_parallel(Gpu::A100, 2);
+        assert!(dc.link_gbps > 5.0 * consumer.link_gbps);
+    }
+
+    #[test]
+    fn capacity_math() {
+        let c = GpuCluster::single(Gpu::Rtx4090);
+        assert_eq!(c.dram_bytes_per_gpu(), 24 * 1024 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,532 @@
+//! The four serving engines of Figure 16.
+//!
+//! All engines share the same substrate (kernel cost models, paged KV
+//! allocator, attention and all-reduce models); they differ exactly where
+//! the real systems differ:
+//!
+//! | engine | weights | decode linear | attention | scheduling overhead |
+//! |---|---|---|---|---|
+//! | **ZipServ** | TCA-TBE (≈71%) | fused ZipGEMM (falls back to dense when faster) | paged, fused | low |
+//! | **vLLM** | dense BF16 | autotuned dense GEMM | paged, fused | low |
+//! | **Transformers** | dense BF16 | eager dense GEMM (unfused epilogues) | eager | high |
+//! | **DFloat11** | Huffman (≈70%) | eager dense GEMM after per-step block decompression | eager | high |
+
+use crate::attention::{decode_attention_us, prefill_attention_us};
+use crate::cluster::GpuCluster;
+use crate::kvcache::PagedKvCache;
+use crate::memory::{MemoryPlan, WeightFormat};
+use crate::metrics::{RunReport, StepBreakdown};
+use crate::parallel::{allreduce_us, block_allreduce_bytes, shard_layer};
+use crate::workload::Workload;
+use zipserv_kernels::cublas_model::CublasTc;
+use zipserv_kernels::decoupled::BaselineCodec;
+use zipserv_kernels::fused::{FusedZipGemm, WeightStats, TYPICAL_COVERAGE};
+use zipserv_kernels::shapes::{LayerKind, LlmModel};
+use zipserv_gpu_sim::roofline::GemmShape;
+
+/// Compressed-weight fraction ZipServ achieves on the evaluated models.
+pub const ZIPSERV_WEIGHT_FRACTION: f64 = 0.715;
+/// Compressed-weight fraction of the DFloat11 baseline.
+pub const DFLOAT11_WEIGHT_FRACTION: f64 = 0.70;
+
+/// The serving engines compared in §6.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// This paper's system.
+    ZipServ,
+    /// The vLLM baseline.
+    Vllm,
+    /// The HuggingFace Transformers baseline.
+    Transformers,
+    /// The DFloat11 lossless-compression baseline.
+    DFloat11,
+}
+
+impl EngineKind {
+    /// All engines in the paper's order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::ZipServ,
+        EngineKind::Vllm,
+        EngineKind::Transformers,
+        EngineKind::DFloat11,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::ZipServ => "ZipServ",
+            EngineKind::Vllm => "vLLM",
+            EngineKind::Transformers => "Transformers",
+            EngineKind::DFloat11 => "DFloat11",
+        }
+    }
+
+    /// How the engine stores weights.
+    pub fn weight_format(self) -> WeightFormat {
+        match self {
+            EngineKind::ZipServ => WeightFormat::Compressed {
+                fraction: ZIPSERV_WEIGHT_FRACTION,
+            },
+            EngineKind::DFloat11 => WeightFormat::Compressed {
+                fraction: DFLOAT11_WEIGHT_FRACTION,
+            },
+            _ => WeightFormat::Dense,
+        }
+    }
+
+    /// Eager-mode inefficiency multiplier on linear kernels (unfused
+    /// epilogues, per-op dispatch).
+    fn linear_inefficiency(self) -> f64 {
+        match self {
+            EngineKind::ZipServ | EngineKind::Vllm => 1.0,
+            EngineKind::Transformers | EngineKind::DFloat11 => 1.55,
+        }
+    }
+
+    /// Attention bandwidth efficiency (paged + fused vs eager).
+    fn attention_efficiency(self) -> f64 {
+        match self {
+            EngineKind::ZipServ | EngineKind::Vllm => 0.80,
+            EngineKind::Transformers | EngineKind::DFloat11 => 0.25,
+        }
+    }
+
+    /// Per-step non-kernel overhead in ms, normalized to a 32-layer model.
+    fn other_ms(self, layers: u64) -> f64 {
+        let per32 = match self {
+            EngineKind::ZipServ | EngineKind::Vllm => 1.88,
+            EngineKind::Transformers => 15.0,
+            EngineKind::DFloat11 => 17.0,
+        };
+        per32 * layers as f64 / 32.0
+    }
+
+    /// Does the engine use a paged KV cache?
+    fn paged_kv(self) -> bool {
+        matches!(self, EngineKind::ZipServ | EngineKind::Vllm)
+    }
+}
+
+impl core::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A model deployed on a cluster under one engine.
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    kind: EngineKind,
+    model: LlmModel,
+    cluster: GpuCluster,
+    plan: MemoryPlan,
+}
+
+impl ServingEngine {
+    /// Deploys `model` on `cluster` under `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not fit the cluster (see
+    /// [`MemoryPlan::plan`]).
+    pub fn new(kind: EngineKind, model: LlmModel, cluster: GpuCluster) -> Self {
+        let plan = MemoryPlan::plan(model, &cluster, kind.weight_format());
+        ServingEngine {
+            kind,
+            model,
+            cluster,
+            plan,
+        }
+    }
+
+    /// The engine kind.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The memory plan (Figure 17's right panel).
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// Per-GPU sharded GEMM shape for one block layer at `n` tokens.
+    fn sharded(&self, layer: LayerKind, n: u64) -> GemmShape {
+        shard_layer(
+            layer,
+            layer.gemm_shape(self.model, n),
+            self.cluster.tp() as u64,
+        )
+    }
+
+    /// One decode step's linear-layer time in ms across all layers.
+    fn decode_linear_ms(&self, batch: u64) -> f64 {
+        let dims = self.model.dims();
+        let spec = self.cluster.spec();
+        let mut us = 0.0;
+        for layer in LayerKind::BLOCK {
+            let shape = self.sharded(layer, batch);
+            let dense = CublasTc::time(shape, &spec).total_us;
+            let t = match self.kind {
+                EngineKind::ZipServ => {
+                    // Dispatch like the real system: fused where it wins.
+                    let stats = WeightStats::synthetic(shape.m, shape.k, TYPICAL_COVERAGE);
+                    let fused = FusedZipGemm::time(&stats, batch, &spec).total_us;
+                    fused.min(dense)
+                }
+                _ => dense * self.kind.linear_inefficiency(),
+            };
+            us += t * dims.layers as f64;
+        }
+        // LM head, column-sharded; ZipServ compresses it like any linear.
+        let lm = self.sharded(LayerKind::LmHead, batch);
+        let lm_dense = CublasTc::time(lm, &spec).total_us;
+        us += match self.kind {
+            EngineKind::ZipServ => {
+                let stats = WeightStats::synthetic(lm.m, lm.k, TYPICAL_COVERAGE);
+                FusedZipGemm::time(&stats, batch, &spec).total_us.min(lm_dense)
+            }
+            _ => lm_dense * self.kind.linear_inefficiency(),
+        };
+        us / 1e3
+    }
+
+    /// Per-step DFloat11 block decompression time in ms (the whole model is
+    /// re-expanded every step, §6.5's DFloat11 integration).
+    fn decode_decompression_ms(&self, _batch: u64) -> f64 {
+        if self.kind != EngineKind::DFloat11 {
+            return 0.0;
+        }
+        let dims = self.model.dims();
+        let spec = self.cluster.spec();
+        let mut us = 0.0;
+        for layer in LayerKind::BLOCK {
+            let shape = self.sharded(layer, 1);
+            let t = BaselineCodec::DFloat11
+                .decomp_profile(shape.m, shape.k, 2.65)
+                .execute(&spec)
+                .total_us;
+            us += t * dims.layers as f64;
+        }
+        // Chunked, block-at-a-time launches cannot overlap with compute,
+        // and the host-side chunk bookkeeping roughly doubles the cost.
+        us * 2.0 / 1e3
+    }
+
+    /// One decode step breakdown at a given context length.
+    pub fn decode_step(&self, batch: u64, context: u64) -> StepBreakdown {
+        let dims = self.model.dims();
+        let spec = self.cluster.spec();
+        let tp = self.cluster.tp() as u64;
+        let attention_us = decode_attention_us(
+            &dims,
+            batch,
+            context,
+            &spec,
+            self.kind.attention_efficiency(),
+        ) / tp as f64;
+        let allreduce =
+            2.0 * dims.layers as f64
+                * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, batch) / 2)
+                / 1e3;
+        StepBreakdown {
+            linear_ms: self.decode_linear_ms(batch),
+            attention_ms: attention_us / 1e3,
+            decompression_ms: self.decode_decompression_ms(batch),
+            allreduce_ms: allreduce,
+            other_ms: self.kind.other_ms(dims.layers),
+        }
+    }
+
+    /// Prefill latency in ms for the whole batch.
+    pub fn prefill_ms(&self, batch: u64, prompt_len: u64) -> f64 {
+        let dims = self.model.dims();
+        let spec = self.cluster.spec();
+        let tokens = batch * prompt_len;
+        let mut us = 0.0;
+        for layer in LayerKind::BLOCK {
+            let shape = self.sharded(layer, tokens);
+            let mut t = CublasTc::time(shape, &spec).total_us * self.kind.linear_inefficiency();
+            if self.kind == EngineKind::ZipServ {
+                // Decoupled path: expand this layer's weights once per pass
+                // (§4.4; ~4% overhead at N=8192).
+                let stats = WeightStats::synthetic(shape.m, shape.k, TYPICAL_COVERAGE);
+                t += FusedZipGemm::decomp_profile(&stats).execute(&spec).total_us;
+            }
+            if self.kind == EngineKind::DFloat11 {
+                t += BaselineCodec::DFloat11
+                    .decomp_profile(shape.m, shape.k, 2.65)
+                    .execute(&spec)
+                    .total_us;
+            }
+            us += t * dims.layers as f64;
+        }
+        us += prefill_attention_us(&dims, batch, prompt_len, &spec, 0.55) / self.cluster.tp() as f64;
+        let allreduce = 2.0
+            * dims.layers as f64
+            * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, tokens) / 2);
+        (us + allreduce) / 1e3 + self.kind.other_ms(dims.layers)
+    }
+
+    /// Prefill with software-pipelined decompression (ZipServ only): layer
+    /// `i+1`'s ZipServ-Decomp kernel runs on a second stream under layer
+    /// `i`'s GEMM, double-buffering the scratch region. The decompressor is
+    /// DRAM-bound while the prefill GEMM is compute-bound, so the overlap
+    /// hides most of the §6.4 overhead. Returns milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-ZipServ engine (other engines have no
+    /// decompression stage to overlap).
+    pub fn prefill_ms_overlapped(&self, batch: u64, prompt_len: u64) -> f64 {
+        assert_eq!(
+            self.kind,
+            EngineKind::ZipServ,
+            "overlapped prefill requires the ZipServ engine"
+        );
+        use zipserv_gpu_sim::stream::StreamSim;
+        let dims = self.model.dims();
+        let spec = self.cluster.spec();
+        let tokens = batch * prompt_len;
+
+        let mut sim = StreamSim::new(spec.clone());
+        let mut last_gemm = None;
+        for _layer in 0..dims.layers {
+            for kind in LayerKind::BLOCK {
+                let shape = self.sharded(kind, tokens);
+                let stats = WeightStats::synthetic(shape.m, shape.k, TYPICAL_COVERAGE);
+                // Double-buffered scratch: decomp k+1 must wait for GEMM k-1
+                // (two buffers in flight); approximate by chaining decomp on
+                // its own stream (FIFO) and making each GEMM depend on its
+                // decomp.
+                let d = sim.submit(1, &FusedZipGemm::decomp_profile(&stats), &[]);
+                let deps = match last_gemm {
+                    Some(g) => vec![d, g],
+                    None => vec![d],
+                };
+                let g = sim.submit(0, &CublasTc::kernel_profile(shape, &spec), &deps);
+                last_gemm = Some(g);
+            }
+        }
+        let linear_us = sim.makespan_us();
+        let attn_us =
+            prefill_attention_us(&dims, batch, prompt_len, &spec, 0.55) / self.cluster.tp() as f64;
+        let allreduce = 2.0
+            * dims.layers as f64
+            * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, tokens) / 2);
+        (linear_us + attn_us + allreduce) / 1e3 + self.kind.other_ms(dims.layers)
+    }
+
+    /// KV capacity in tokens for this deployment. Non-paged engines lose
+    /// ~40% of the region to fragmentation and static over-reservation.
+    pub fn kv_capacity_tokens(&self) -> u64 {
+        let cache = PagedKvCache::new(
+            self.plan.kv_bytes,
+            self.model.dims().kv_bytes_per_token() / self.cluster.tp() as u64,
+        );
+        let raw = cache.capacity_tokens();
+        if self.kind.paged_kv() {
+            raw
+        } else {
+            (raw as f64 * 0.6) as u64
+        }
+    }
+
+    /// Serves one workload end to end.
+    pub fn serve(&self, w: Workload) -> RunReport {
+        let capacity = self.kv_capacity_tokens().max(1);
+        let demand = w.peak_kv_tokens();
+        let pressure = demand as f64 / capacity as f64;
+        // Thrashing penalty: paged engines preempt + recompute/swap
+        // (sub-linear); static engines must run the batch in waves.
+        let penalty = if pressure <= 1.0 {
+            1.0
+        } else if self.kind.paged_kv() {
+            pressure.sqrt()
+        } else {
+            pressure.ceil()
+        };
+
+        let prefill_s = self.prefill_ms(w.batch, w.prompt_len) / 1e3;
+        let mut decode_s = 0.0;
+        let mut final_step = StepBreakdown::default();
+        // Sample the context sweep at step granularity without recomputing
+        // the kernel autotuner 2048 times: step times vary only through
+        // attention (linear in context), so evaluate the breakdown at both
+        // ends and integrate.
+        let first = self.decode_step(w.batch, w.prompt_len);
+        let last = self.decode_step(w.batch, w.max_context());
+        for step in 0..w.output_len {
+            let t = step as f64 / w.output_len.max(1) as f64;
+            let ms = first.total_ms() + (last.total_ms() - first.total_ms()) * t;
+            decode_s += ms / 1e3;
+            if step + 1 == w.output_len {
+                final_step = last;
+            }
+        }
+        decode_s *= penalty;
+        let latency_s = prefill_s + decode_s;
+        RunReport {
+            prefill_s,
+            decode_s,
+            latency_s,
+            throughput_tps: w.total_output_tokens() as f64 / latency_s,
+            final_step,
+            kv_pressure: pressure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipserv_gpu_sim::device::Gpu;
+
+    fn llama8b(kind: EngineKind) -> ServingEngine {
+        ServingEngine::new(kind, LlmModel::Llama31_8b, GpuCluster::single(Gpu::Rtx4090))
+    }
+
+    #[test]
+    fn figure17_step_breakdown() {
+        // vLLM at batch 32, seq 1024: GEMM ≈ 25 ms (~84% of the step);
+        // ZipServ cuts linear to ≈ 15 ms (1.69×).
+        let vllm = llama8b(EngineKind::Vllm).decode_step(32, 1024);
+        assert!(
+            vllm.linear_ms > 18.0 && vllm.linear_ms < 30.0,
+            "vllm linear {} ms",
+            vllm.linear_ms
+        );
+        assert!(
+            vllm.linear_fraction() > 0.70,
+            "linear fraction {}",
+            vllm.linear_fraction()
+        );
+        let zip = llama8b(EngineKind::ZipServ).decode_step(32, 1024);
+        let speedup = vllm.linear_ms / zip.linear_ms;
+        assert!(speedup > 1.3 && speedup < 2.0, "linear speedup {speedup}");
+    }
+
+    #[test]
+    fn figure16_engine_ordering() {
+        // Throughput: ZipServ > vLLM > Transformers > DFloat11.
+        let w = Workload::new(32, 512, 512);
+        let tput: Vec<f64> = EngineKind::ALL
+            .iter()
+            .map(|&k| llama8b(k).serve(w).throughput_tps)
+            .collect();
+        assert!(tput[0] > tput[1], "ZipServ {} vs vLLM {}", tput[0], tput[1]);
+        assert!(tput[1] > tput[2], "vLLM {} vs Transformers {}", tput[1], tput[2]);
+        assert!(tput[2] > tput[3], "Transformers {} vs DFloat11 {}", tput[2], tput[3]);
+    }
+
+    #[test]
+    fn figure16_speedup_magnitudes() {
+        // Paper averages: 1.22× over vLLM, 3.18× over Transformers, 8.52×
+        // over DFloat11 — check each within a generous band across the sweep.
+        let mut vs_vllm = Vec::new();
+        let mut vs_tf = Vec::new();
+        let mut vs_df = Vec::new();
+        for w in Workload::paper_sweep() {
+            let zip = llama8b(EngineKind::ZipServ).serve(w).throughput_tps;
+            vs_vllm.push(zip / llama8b(EngineKind::Vllm).serve(w).throughput_tps);
+            vs_tf.push(zip / llama8b(EngineKind::Transformers).serve(w).throughput_tps);
+            vs_df.push(zip / llama8b(EngineKind::DFloat11).serve(w).throughput_tps);
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&vs_vllm) > 1.1 && avg(&vs_vllm) < 1.6, "vs vLLM {}", avg(&vs_vllm));
+        assert!(avg(&vs_tf) > 2.0 && avg(&vs_tf) < 5.0, "vs TF {}", avg(&vs_tf));
+        assert!(avg(&vs_df) > 4.0 && avg(&vs_df) < 12.0, "vs DF11 {}", avg(&vs_df));
+    }
+
+    #[test]
+    fn long_outputs_amplify_the_gain() {
+        // §6.5: gains grow with output length (KV-capacity effect): at batch
+        // 32 / output 2048 the speedup exceeds the sweep average.
+        let short = Workload::new(32, 512, 128);
+        let long = Workload::new(32, 512, 2048);
+        let speedup = |w: Workload| {
+            llama8b(EngineKind::ZipServ).serve(w).throughput_tps
+                / llama8b(EngineKind::Vllm).serve(w).throughput_tps
+        };
+        let s_short = speedup(short);
+        let s_long = speedup(long);
+        assert!(s_long > s_short, "short {s_short} long {s_long}");
+        assert!(s_long > 1.3, "long-output speedup {s_long}");
+    }
+
+    #[test]
+    fn zipserv_expands_kv_capacity() {
+        let zip = llama8b(EngineKind::ZipServ);
+        let vllm = llama8b(EngineKind::Vllm);
+        let ratio = zip.kv_capacity_tokens() as f64 / vllm.kv_capacity_tokens() as f64;
+        assert!(ratio > 1.4 && ratio < 2.1, "KV capacity ratio {ratio}");
+    }
+
+    #[test]
+    fn tensor_parallel_deployments_work() {
+        // Mistral-24B on 2×L40S and LLaMA3.1-70B on 4×L40S (§6.5).
+        let m24 = ServingEngine::new(
+            EngineKind::ZipServ,
+            LlmModel::Mistral24b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 2),
+        );
+        let l70 = ServingEngine::new(
+            EngineKind::ZipServ,
+            LlmModel::Llama31_70b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 4),
+        );
+        let w = Workload::new(8, 512, 256);
+        let r24 = m24.serve(w);
+        let r70 = l70.serve(w);
+        assert!(r24.throughput_tps > r70.throughput_tps, "bigger model is slower");
+        assert!(r70.latency_s > 0.0 && r70.throughput_tps > 10.0);
+    }
+
+    #[test]
+    fn zipserv_beats_vllm_on_multi_gpu_too() {
+        let w = Workload::new(32, 512, 512);
+        for (model, tp) in [(LlmModel::Mistral24b, 2u32), (LlmModel::Llama31_70b, 4)] {
+            let cluster = GpuCluster::tensor_parallel(Gpu::L40s, tp);
+            let zip = ServingEngine::new(EngineKind::ZipServ, model, cluster).serve(w);
+            let vllm = ServingEngine::new(EngineKind::Vllm, model, cluster).serve(w);
+            let s = zip.throughput_tps / vllm.throughput_tps;
+            assert!(s > 1.05 && s < 1.9, "{model}: {s}");
+        }
+    }
+
+    #[test]
+    fn prefill_decomp_overhead_is_small() {
+        // §6.4: the decoupled prefill path costs only a few percent.
+        let zip = llama8b(EngineKind::ZipServ).prefill_ms(8, 1024);
+        let vllm = llama8b(EngineKind::Vllm).prefill_ms(8, 1024);
+        let overhead = zip / vllm - 1.0;
+        assert!(overhead < 0.15, "prefill overhead {overhead}");
+    }
+
+    #[test]
+    fn overlapped_prefill_beats_serial() {
+        let zip = llama8b(EngineKind::ZipServ);
+        let serial = zip.prefill_ms(8, 1024);
+        let overlapped = zip.prefill_ms_overlapped(8, 1024);
+        assert!(overlapped < serial, "{overlapped} vs {serial}");
+        // And cannot beat the GEMM-only floor (vLLM's prefill).
+        let vllm = llama8b(EngineKind::Vllm).prefill_ms(8, 1024);
+        assert!(overlapped > 0.9 * vllm, "{overlapped} vs floor {vllm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the ZipServ engine")]
+    fn overlapped_prefill_rejects_other_engines() {
+        let _ = llama8b(EngineKind::Vllm).prefill_ms_overlapped(8, 512);
+    }
+
+    #[test]
+    fn latency_monotone_in_output_length() {
+        let eng = llama8b(EngineKind::ZipServ);
+        let mut last = 0.0;
+        for out in [128u64, 256, 512, 1024] {
+            let r = eng.serve(Workload::new(8, 512, out));
+            assert!(r.latency_s > last);
+            last = r.latency_s;
+        }
+    }
+}

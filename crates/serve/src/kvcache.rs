@@ -1,0 +1,262 @@
+//! A PagedAttention-style KV-cache block allocator.
+//!
+//! The KV cache is carved into fixed-size pages of `PAGE_TOKENS` token
+//! slots; each sequence owns a block table of page indices. Freed weight
+//! memory becomes extra pages — the mechanism by which ZipServ's 3.78 GB of
+//! weight savings turns into a 1.70× larger KV cache (Figure 17) and the
+//! throughput gains of §6.5.
+
+use std::collections::HashMap;
+
+/// Tokens per KV page (vLLM's default block size).
+pub const PAGE_TOKENS: u64 = 16;
+
+/// Errors from the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// No free pages remain.
+    OutOfPages,
+    /// The sequence id is not registered.
+    UnknownSequence,
+}
+
+impl core::fmt::Display for KvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KvError::OutOfPages => write!(f, "KV cache out of pages"),
+            KvError::UnknownSequence => write!(f, "unknown sequence id"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// The paged KV-cache allocator.
+#[derive(Debug, Clone)]
+pub struct PagedKvCache {
+    total_pages: u64,
+    free_list: Vec<u64>,
+    /// Per-page reference counts (copy-on-write forks share pages).
+    ref_counts: Vec<u32>,
+    /// Sequence id → (block table, tokens stored).
+    tables: HashMap<u64, SeqState>,
+}
+
+#[derive(Debug, Clone)]
+struct SeqState {
+    pages: Vec<u64>,
+    tokens: u64,
+}
+
+impl PagedKvCache {
+    /// An allocator over a KV region of `capacity_bytes` for a model whose
+    /// cache costs `bytes_per_token`.
+    pub fn new(capacity_bytes: u64, bytes_per_token: u64) -> Self {
+        let total_tokens = capacity_bytes / bytes_per_token.max(1);
+        let total_pages = total_tokens / PAGE_TOKENS;
+        PagedKvCache {
+            total_pages,
+            free_list: (0..total_pages).rev().collect(),
+            ref_counts: vec![0; total_pages as usize],
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Total page count.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.free_list.len() as u64
+    }
+
+    /// Total token capacity.
+    pub fn capacity_tokens(&self) -> u64 {
+        self.total_pages * PAGE_TOKENS
+    }
+
+    /// Registers a new sequence with no tokens.
+    pub fn register(&mut self, seq: u64) {
+        self.tables.entry(seq).or_insert(SeqState {
+            pages: Vec::new(),
+            tokens: 0,
+        });
+    }
+
+    /// Appends `tokens` token slots to a sequence, allocating pages as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::UnknownSequence`] if unregistered;
+    /// [`KvError::OutOfPages`] if the cache is exhausted (nothing is
+    /// allocated in that case).
+    pub fn append(&mut self, seq: u64, tokens: u64) -> Result<(), KvError> {
+        let state = self.tables.get(&seq).ok_or(KvError::UnknownSequence)?;
+        let have_slots = state.pages.len() as u64 * PAGE_TOKENS - state.tokens;
+        let need_pages = tokens.saturating_sub(have_slots).div_ceil(PAGE_TOKENS);
+        if need_pages > self.free_list.len() as u64 {
+            return Err(KvError::OutOfPages);
+        }
+        let mut new_pages = Vec::with_capacity(need_pages as usize);
+        for _ in 0..need_pages {
+            let page = self.free_list.pop().expect("checked above");
+            self.ref_counts[page as usize] = 1;
+            new_pages.push(page);
+        }
+        let state = self.tables.get_mut(&seq).expect("checked above");
+        state.pages.extend(new_pages);
+        state.tokens += tokens;
+        Ok(())
+    }
+
+    /// Copy-on-write fork: the child shares all of the parent's pages
+    /// (beam search / parallel sampling).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::UnknownSequence`] if the parent is unregistered.
+    pub fn fork(&mut self, parent: u64, child: u64) -> Result<(), KvError> {
+        let state = self
+            .tables
+            .get(&parent)
+            .ok_or(KvError::UnknownSequence)?
+            .clone();
+        for &p in &state.pages {
+            self.ref_counts[p as usize] += 1;
+        }
+        self.tables.insert(child, state);
+        Ok(())
+    }
+
+    /// Releases a sequence, returning its exclusively-owned pages to the
+    /// free list.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::UnknownSequence`] if unregistered.
+    pub fn release(&mut self, seq: u64) -> Result<(), KvError> {
+        let state = self.tables.remove(&seq).ok_or(KvError::UnknownSequence)?;
+        for page in state.pages {
+            let rc = &mut self.ref_counts[page as usize];
+            *rc -= 1;
+            if *rc == 0 {
+                self.free_list.push(page);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tokens currently stored for a sequence.
+    pub fn tokens(&self, seq: u64) -> Option<u64> {
+        self.tables.get(&seq).map(|s| s.tokens)
+    }
+
+    /// The block table (page indices) of a sequence.
+    pub fn block_table(&self, seq: u64) -> Option<&[u64]> {
+        self.tables.get(&seq).map(|s| s.pages.as_slice())
+    }
+
+    /// Largest batch of sequences of `seq_len` tokens that fits.
+    pub fn max_batch(&self, seq_len: u64) -> u64 {
+        let pages_per_seq = seq_len.div_ceil(PAGE_TOKENS).max(1);
+        self.total_pages / pages_per_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with_pages(pages: u64) -> PagedKvCache {
+        PagedKvCache::new(pages * PAGE_TOKENS * 100, 100)
+    }
+
+    #[test]
+    fn capacity_derived_from_bytes() {
+        // 1 MiB at 128 bytes/token = 8192 tokens = 512 pages.
+        let c = PagedKvCache::new(1 << 20, 128);
+        assert_eq!(c.capacity_tokens(), 8192);
+        assert_eq!(c.total_pages(), 512);
+    }
+
+    #[test]
+    fn append_allocates_on_page_boundaries() {
+        let mut c = cache_with_pages(10);
+        c.register(1);
+        c.append(1, 10).unwrap(); // 1 page
+        assert_eq!(c.free_pages(), 9);
+        c.append(1, 6).unwrap(); // fills page 1 exactly
+        assert_eq!(c.free_pages(), 9);
+        c.append(1, 1).unwrap(); // spills to page 2
+        assert_eq!(c.free_pages(), 8);
+        assert_eq!(c.tokens(1), Some(17));
+        assert_eq!(c.block_table(1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn out_of_pages_is_atomic() {
+        let mut c = cache_with_pages(2);
+        c.register(1);
+        c.append(1, PAGE_TOKENS * 2).unwrap();
+        c.register(2);
+        assert_eq!(c.append(2, 1), Err(KvError::OutOfPages));
+        assert_eq!(c.free_pages(), 0);
+        assert_eq!(c.tokens(2), Some(0), "failed append must not change state");
+    }
+
+    #[test]
+    fn release_returns_pages() {
+        let mut c = cache_with_pages(4);
+        c.register(7);
+        c.append(7, 50).unwrap(); // 4 pages
+        assert_eq!(c.free_pages(), 0);
+        c.release(7).unwrap();
+        assert_eq!(c.free_pages(), 4);
+        assert_eq!(c.tokens(7), None);
+    }
+
+    #[test]
+    fn fork_shares_pages_copy_on_write() {
+        let mut c = cache_with_pages(8);
+        c.register(1);
+        c.append(1, 32).unwrap(); // 2 pages
+        c.fork(1, 2).unwrap();
+        assert_eq!(c.free_pages(), 6, "fork allocates nothing");
+        assert_eq!(c.block_table(2), c.block_table(1));
+        // Releasing the parent keeps shared pages alive.
+        c.release(1).unwrap();
+        assert_eq!(c.free_pages(), 6);
+        c.release(2).unwrap();
+        assert_eq!(c.free_pages(), 8);
+    }
+
+    #[test]
+    fn unknown_sequence_errors() {
+        let mut c = cache_with_pages(1);
+        assert_eq!(c.append(9, 1), Err(KvError::UnknownSequence));
+        assert_eq!(c.release(9), Err(KvError::UnknownSequence));
+        assert_eq!(c.fork(9, 10), Err(KvError::UnknownSequence));
+    }
+
+    #[test]
+    fn max_batch_math() {
+        let c = cache_with_pages(100);
+        // 100 pages, 160-token sequences need 10 pages each.
+        assert_eq!(c.max_batch(160), 10);
+        assert_eq!(c.max_batch(1), 100);
+    }
+
+    #[test]
+    fn more_kv_memory_means_bigger_batches() {
+        // The Figure 17 mechanism: ZipServ's freed weight memory (5.07 GB ->
+        // 8.60 GB of KV) supports ~1.7x the batch at fixed context.
+        let bytes_per_token = 131_072; // LLaMA3.1-8B
+        let vllm = PagedKvCache::new(5_070_000_000, bytes_per_token);
+        let zip = PagedKvCache::new(8_600_000_000, bytes_per_token);
+        let ratio = zip.max_batch(2048) as f64 / vllm.max_batch(2048) as f64;
+        assert!(ratio > 1.55 && ratio < 1.85, "ratio {ratio}");
+    }
+}

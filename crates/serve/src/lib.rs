@@ -1,0 +1,36 @@
+//! The LLM serving substrate: everything §6.5's end-to-end comparison needs.
+//!
+//! * [`cluster`] — single- and multi-GPU deployment descriptions;
+//! * [`kvcache`] — a PagedAttention-style block allocator (real data
+//!   structure: pages, block tables, alloc/free/fork);
+//! * [`attention`] — the decode/prefill attention cost model;
+//! * [`parallel`] — tensor-parallel sharding and ring all-reduce;
+//! * [`memory`] — the device memory plan (weights vs KV cache vs runtime),
+//!   reproducing Figure 17's breakdown;
+//! * [`engine`] — the four serving engines of Figure 16: ZipServ, a
+//!   vLLM-like baseline, a Transformers-like eager baseline, and a
+//!   DFloat11-like decoupled-decompression engine;
+//! * [`scheduler`] — online continuous batching over Poisson arrivals with
+//!   KV-capacity admission control and latency percentiles;
+//! * [`transformer`] — a functional miniature transformer that runs with
+//!   dense or TCA-TBE-compressed weights and proves bit-exact generation;
+//! * [`workload`] — request/batch generators;
+//! * [`metrics`] — latency/throughput reports.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attention;
+pub mod cluster;
+pub mod engine;
+pub mod kvcache;
+pub mod memory;
+pub mod metrics;
+pub mod parallel;
+pub mod scheduler;
+pub mod transformer;
+pub mod workload;
+
+pub use cluster::GpuCluster;
+pub use engine::{EngineKind, ServingEngine};
+pub use workload::Workload;

@@ -1,0 +1,78 @@
+//! Serving metrics: the latency/throughput reports of Figure 16 and the
+//! per-step breakdown of Figure 17.
+
+use serde::Serialize;
+
+/// One decode step's time breakdown in milliseconds (Figure 17, left).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct StepBreakdown {
+    /// Linear layers (fused ZipGEMM + residual dense GEMMs, or all dense).
+    pub linear_ms: f64,
+    /// Attention over the KV cache.
+    pub attention_ms: f64,
+    /// Per-step weight decompression (DFloat11-style engines only).
+    pub decompression_ms: f64,
+    /// Tensor-parallel all-reduces.
+    pub allreduce_ms: f64,
+    /// Everything else (sampling, scheduling, kernel glue).
+    pub other_ms: f64,
+}
+
+impl StepBreakdown {
+    /// Total step latency.
+    pub fn total_ms(&self) -> f64 {
+        self.linear_ms + self.attention_ms + self.decompression_ms + self.allreduce_ms + self.other_ms
+    }
+
+    /// Fraction of the step spent in linear layers (paper: 83.6% for vLLM).
+    pub fn linear_fraction(&self) -> f64 {
+        if self.total_ms() == 0.0 {
+            0.0
+        } else {
+            self.linear_ms / self.total_ms()
+        }
+    }
+}
+
+/// The end-to-end result of serving one workload (one Figure 16 point).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RunReport {
+    /// Prefill latency in seconds.
+    pub prefill_s: f64,
+    /// Total decode time in seconds.
+    pub decode_s: f64,
+    /// End-to-end request latency in seconds.
+    pub latency_s: f64,
+    /// Output tokens per second across the batch.
+    pub throughput_tps: f64,
+    /// The steady-state decode step at the final context length.
+    pub final_step: StepBreakdown,
+    /// KV demand / KV capacity at peak (>1 means thrashing).
+    pub kv_pressure: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let b = StepBreakdown {
+            linear_ms: 24.99,
+            attention_ms: 3.02,
+            decompression_ms: 0.0,
+            allreduce_ms: 0.0,
+            other_ms: 1.88,
+        };
+        assert!((b.total_ms() - 29.89).abs() < 1e-9);
+        // The paper's 83.6% GEMM share.
+        assert!((b.linear_fraction() - 0.836).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = StepBreakdown::default();
+        assert_eq!(b.total_ms(), 0.0);
+        assert_eq!(b.linear_fraction(), 0.0);
+    }
+}

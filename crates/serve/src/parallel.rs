@@ -1,0 +1,100 @@
+//! Tensor-parallel sharding and all-reduce cost.
+//!
+//! Megatron-style sharding: column-parallel QKV/GateUp (shard `M`),
+//! row-parallel O/Down (shard `K`), followed by one all-reduce of the
+//! activation after attention and one after the FFN.
+
+use crate::cluster::GpuCluster;
+use zipserv_gpu_sim::roofline::GemmShape;
+use zipserv_kernels::shapes::LayerKind;
+
+/// Shards a layer's GEMM across the cluster's tensor-parallel ranks.
+///
+/// Returns the per-GPU problem shape.
+///
+/// # Panics
+///
+/// Panics if the layer dimension is not divisible by the TP degree.
+pub fn shard_layer(layer: LayerKind, shape: GemmShape, tp: u64) -> GemmShape {
+    assert!(tp >= 1, "tp must be >= 1");
+    match layer {
+        // Column parallel: output rows split.
+        LayerKind::QkvProj | LayerKind::GateUpProj | LayerKind::LmHead => {
+            assert_eq!(shape.m % tp, 0, "M not divisible by tp");
+            GemmShape::new(shape.m / tp, shape.k, shape.n)
+        }
+        // Row parallel: reduction dim split.
+        LayerKind::OProj | LayerKind::DownProj => {
+            assert_eq!(shape.k % tp, 0, "K not divisible by tp");
+            GemmShape::new(shape.m, shape.k / tp, shape.n)
+        }
+    }
+}
+
+/// Ring all-reduce time in microseconds for `bytes` per rank.
+///
+/// `2·(tp−1)/tp` traversals of the payload per direction plus a fixed
+/// per-hop latency.
+pub fn allreduce_us(cluster: &GpuCluster, bytes: u64) -> f64 {
+    let tp = cluster.tp() as f64;
+    if tp <= 1.0 {
+        return 0.0;
+    }
+    let volume = 2.0 * (tp - 1.0) / tp * bytes as f64;
+    let bw_bytes_per_us = cluster.link_gbps * 1e3;
+    volume / bw_bytes_per_us + 2.0 * (tp - 1.0) * 5.0
+}
+
+/// All-reduce traffic per transformer block per step: two reductions of the
+/// `batch × hidden` BF16 activation.
+pub fn block_allreduce_bytes(hidden: u64, tokens: u64) -> u64 {
+    2 * 2 * hidden * tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipserv_gpu_sim::device::Gpu;
+
+    #[test]
+    fn column_parallel_shards_m() {
+        let s = shard_layer(LayerKind::GateUpProj, GemmShape::new(65536, 5120, 32), 2);
+        assert_eq!((s.m, s.k, s.n), (32768, 5120, 32));
+    }
+
+    #[test]
+    fn row_parallel_shards_k() {
+        let s = shard_layer(LayerKind::DownProj, GemmShape::new(5120, 32768, 32), 4);
+        assert_eq!((s.m, s.k, s.n), (5120, 8192, 32));
+    }
+
+    #[test]
+    fn tp1_is_identity() {
+        let shape = GemmShape::new(4096, 4096, 8);
+        for layer in LayerKind::ALL {
+            assert_eq!(shard_layer(layer, shape, 1), shape);
+        }
+    }
+
+    #[test]
+    fn allreduce_zero_on_single_gpu() {
+        let c = GpuCluster::single(Gpu::Rtx4090);
+        assert_eq!(allreduce_us(&c, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes_and_ranks() {
+        let c2 = GpuCluster::tensor_parallel(Gpu::L40s, 2);
+        let c4 = GpuCluster::tensor_parallel(Gpu::L40s, 4);
+        let t2 = allreduce_us(&c2, 1 << 20);
+        let t4 = allreduce_us(&c4, 1 << 20);
+        assert!(t4 > t2, "more ranks move more relative volume");
+        assert!(allreduce_us(&c2, 2 << 20) > t2);
+    }
+
+    #[test]
+    fn block_traffic() {
+        // batch 32 × hidden 5120 × 2 bytes × 2 reductions = 655 KB.
+        assert_eq!(block_allreduce_bytes(5120, 32), 655_360);
+    }
+}

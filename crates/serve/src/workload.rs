@@ -1,0 +1,88 @@
+//! Serving workloads: static batches of generation requests (§6.5 setup).
+
+use serde::{Deserialize, Serialize};
+
+/// One batch workload: `batch` requests with a shared prompt and output
+/// length — the benchmarking setup of §6.5 (batch 8/32, outputs 128–2048).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Workload {
+    /// Concurrent requests.
+    pub batch: u64,
+    /// Prompt tokens per request.
+    pub prompt_len: u64,
+    /// Output tokens to generate per request.
+    pub output_len: u64,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero.
+    pub fn new(batch: u64, prompt_len: u64, output_len: u64) -> Self {
+        assert!(
+            batch > 0 && prompt_len > 0 && output_len > 0,
+            "workload dimensions must be nonzero"
+        );
+        Workload {
+            batch,
+            prompt_len,
+            output_len,
+        }
+    }
+
+    /// The §6.5 sweep: batch {8, 32} × output {128, 256, 512, 1024, 2048}
+    /// with a 512-token prompt.
+    pub fn paper_sweep() -> Vec<Workload> {
+        let mut out = Vec::new();
+        for batch in [8u64, 32] {
+            for output in [128u64, 256, 512, 1024, 2048] {
+                out.push(Workload::new(batch, 512, output));
+            }
+        }
+        out
+    }
+
+    /// Total output tokens produced by the whole batch.
+    pub fn total_output_tokens(&self) -> u64 {
+        self.batch * self.output_len
+    }
+
+    /// Maximum context length reached (prompt + full output).
+    pub fn max_context(&self) -> u64 {
+        self.prompt_len + self.output_len
+    }
+
+    /// Peak KV tokens held by the batch.
+    pub fn peak_kv_tokens(&self) -> u64 {
+        self.batch * self.max_context()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let w = Workload::new(32, 512, 2048);
+        assert_eq!(w.total_output_tokens(), 65_536);
+        assert_eq!(w.max_context(), 2560);
+        assert_eq!(w.peak_kv_tokens(), 81_920);
+    }
+
+    #[test]
+    fn paper_sweep_covers_ten_points() {
+        let sweep = Workload::paper_sweep();
+        assert_eq!(sweep.len(), 10);
+        assert!(sweep.iter().all(|w| w.prompt_len == 512));
+        assert!(sweep.iter().any(|w| w.batch == 8 && w.output_len == 2048));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_batch_rejected() {
+        let _ = Workload::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Kernel explorer: compare the fused ZipGEMM against cuBLAS_TC and the
+//! decoupled DietGPU/nvCOMP/DFloat11 pipelines on any layer shape and GPU —
+//! an interactive version of Figures 11/14/15.
+//!
+//! ```text
+//! cargo run --release --example kernel_explorer -- 28672 4096 32
+//! ```
+
+use zipserv::gpu::device::Gpu;
+use zipserv::gpu::roofline::{compute_intensity, GemmShape, PipelineKind};
+use zipserv::kernels::cublas_model::CublasTc;
+use zipserv::kernels::decoupled::{BaselineCodec, DecoupledPipeline};
+use zipserv::kernels::fused::{typical_stats, FusedZipGemm};
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (m, k, n) = match args.as_slice() {
+        [m, k, n, ..] => (*m, *k, *n),
+        _ => (28672, 4096, 32), // the paper's micro-analysis shape
+    };
+    let shape = GemmShape::new(m, k, n);
+    let stats = typical_stats(m, k);
+
+    println!("GEMM {m}x{k} @ N={n}  ({:.1} MB of BF16 weights)", (2 * m * k) as f64 / 1e6);
+    println!(
+        "compute intensity: dense {:.1}, decoupled {:.1}, fused {:.1} flops/byte\n",
+        compute_intensity(shape, PipelineKind::DenseGemm, 1.51),
+        compute_intensity(shape, PipelineKind::Decoupled, 1.51),
+        compute_intensity(shape, PipelineKind::ZipServFused, 1.51),
+    );
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>12} {:>12} {:>12}",
+        "GPU", "cuBLAS(us)", "ZipGEMM(us)", "speedup", "DietGPU", "nvCOMP", "DFloat11"
+    );
+    for gpu in Gpu::ALL {
+        let spec = gpu.spec();
+        let dense = CublasTc::time(shape, &spec).total_us;
+        let fused = FusedZipGemm::time(&stats, n, &spec).total_us;
+        let base: Vec<f64> = BaselineCodec::ALL
+            .iter()
+            .map(|&c| dense / DecoupledPipeline::new(c).time(shape, &spec).total_us())
+            .collect();
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>8.2}x {:>11.2}x {:>11.2}x {:>11.2}x",
+            gpu.name(),
+            dense,
+            fused,
+            dense / fused,
+            base[0],
+            base[1],
+            base[2]
+        );
+    }
+    println!("\n(speedups are relative to cuBLAS_TC on the same device; >1 is faster)");
+}

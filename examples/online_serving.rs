@@ -1,0 +1,45 @@
+//! Online serving demo: continuous batching under Poisson load, comparing
+//! ZipServ and the vLLM baseline at increasing request rates — the
+//! production-serving view of the paper's KV-capacity mechanism.
+//!
+//! ```text
+//! cargo run --release --example online_serving
+//! ```
+
+use zipserv::prelude::*;
+use zipserv::serve::cluster::GpuCluster;
+use zipserv::serve::engine::{EngineKind, ServingEngine};
+use zipserv::serve::scheduler::{poisson_arrivals, ContinuousBatcher};
+
+fn main() {
+    let cluster = GpuCluster::single(Gpu::Rtx4090);
+    println!("LLaMA3.1-8B on 1xRTX4090, prompt 1024, output 256, 60 requests\n");
+    println!(
+        "{:>10} {:>10} | {:>8} {:>9} {:>9} {:>7} | {:>8} {:>9} {:>9} {:>7}",
+        "", "", "ZipServ", "", "", "", "vLLM", "", "", ""
+    );
+    println!(
+        "{:>10} {:>10} | {:>8} {:>9} {:>9} {:>7} | {:>8} {:>9} {:>9} {:>7}",
+        "rate", "", "tok/s", "p50 (s)", "p95 (s)", "batch", "tok/s", "p50 (s)", "p95 (s)", "batch"
+    );
+    for rate in [2.0f64, 4.0, 8.0, 16.0] {
+        let arrivals = poisson_arrivals(rate, 60, 1024, 256, 7);
+        print!("{:>7.0}/s {:>12}|", rate, "");
+        for kind in [EngineKind::ZipServ, EngineKind::Vllm] {
+            let engine = ServingEngine::new(kind, LlmModel::Llama31_8b, cluster);
+            let r = ContinuousBatcher::new(&engine).run(arrivals.clone());
+            print!(
+                " {:>8.0} {:>9.1} {:>9.1} {:>7} |",
+                r.throughput_tps,
+                r.latency_percentile(0.5),
+                r.latency_percentile(0.95),
+                r.peak_batch
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nAt saturating load the compressed engine admits a larger concurrent batch\n\
+         (more KV pages from the freed weight memory) and holds lower tail latency."
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: compress a weight matrix losslessly, verify bit-exactness,
+//! and run the fused ZipGEMM on the compressed form.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use zipserv::prelude::*;
+use zipserv::tbe::ZipGemm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a Gaussian BF16 weight matrix (the paper's Appendix-A
+    //    model of LLM weights) and inspect its exponent statistics.
+    let weights = WeightGen::for_family(ModelFamily::Llama3)
+        .seed(42)
+        .matrix(512, 512);
+    let hist = ExponentHistogram::from_matrix(&weights);
+    let summary = ExponentSummary::from_histogram(&hist);
+    println!("exponent entropy : {:.2} bits (of 8 allocated)", summary.entropy_bits);
+    println!("top-7 coverage   : {:.1}%", 100.0 * summary.top7_coverage);
+    println!("top-7 contiguous : {}", summary.top7_contiguous);
+
+    // 2. Compress with TCA-TBE (Algorithm 1).
+    let compressed = TbeCompressor::new().compress(&weights)?;
+    let stats = compressed.stats();
+    println!(
+        "compressed       : {} -> {} bytes ({:.1}% of raw, {:.2} bits/elem)",
+        stats.raw_bytes,
+        stats.compressed_bytes(),
+        stats.size_percent(),
+        stats.bits_per_element()
+    );
+
+    // 3. Lossless: decompression is bit-exact.
+    let restored = compressed.decompress();
+    assert_eq!(restored, weights);
+    println!("round-trip       : bit-exact");
+
+    // 4. Fused ZipGEMM: compute Y = W X straight from the compressed form.
+    let x = WeightGen::new(0.5).seed(7).matrix(512, 8);
+    let y = ZipGemm::new().multiply(&compressed, &x);
+    println!(
+        "fused GEMM       : Y is {}x{}, Y[0,0] = {:.4}",
+        y.rows(),
+        y.cols(),
+        y[(0, 0)]
+    );
+
+    // 5. And it matches the dense reference bitwise.
+    let dense = zipserv::kernels::gemm_ref::gemm(&weights, &x);
+    assert_eq!(y.as_slice(), dense.as_slice());
+    println!("fused == dense   : bitwise identical");
+    Ok(())
+}

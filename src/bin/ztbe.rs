@@ -1,0 +1,114 @@
+//! `ztbe` — command-line tool for TCA-TBE model files.
+//!
+//! ```text
+//! ztbe compress   <in.bf16> <rows> <cols> <out.ztbe>   # raw LE BF16 input
+//! ztbe decompress <in.ztbe> <out.bf16>
+//! ztbe inspect    <in.ztbe>
+//! ztbe demo       <rows> <cols> <out.ztbe>             # synthetic weights
+//! ```
+//!
+//! `.bf16` files are raw little-endian 16-bit payloads, row-major.
+
+use std::fs;
+use std::process::ExitCode;
+use zipserv::bf16::gen::WeightGen;
+use zipserv::bf16::{Bf16, Matrix};
+use zipserv::tbe::format::serialize;
+use zipserv::tbe::TbeCompressor;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ztbe compress   <in.bf16> <rows> <cols> <out.ztbe>\n  \
+         ztbe decompress <in.ztbe> <out.bf16>\n  \
+         ztbe inspect    <in.ztbe>\n  \
+         ztbe demo       <rows> <cols> <out.ztbe>"
+    );
+    ExitCode::from(2)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compress") if args.len() == 5 => {
+            let raw = fs::read(&args[1]).map_err(|e| format!("read {}: {e}", args[1]))?;
+            let rows: usize = args[2].parse().map_err(|_| "rows must be an integer".to_string())?;
+            let cols: usize = args[3].parse().map_err(|_| "cols must be an integer".to_string())?;
+            if raw.len() != rows * cols * 2 {
+                return Err(format!(
+                    "{} holds {} bytes but {rows}x{cols} BF16 needs {}",
+                    args[1],
+                    raw.len(),
+                    rows * cols * 2
+                ));
+            }
+            let data: Vec<Bf16> = raw
+                .chunks_exact(2)
+                .map(|c| Bf16::from_bits(u16::from_le_bytes([c[0], c[1]])))
+                .collect();
+            let m = Matrix::from_vec(rows, cols, data);
+            let tbe = TbeCompressor::new().compress(&m).map_err(|e| e.to_string())?;
+            let blob = serialize::to_bytes(&tbe);
+            fs::write(&args[4], &blob).map_err(|e| format!("write {}: {e}", args[4]))?;
+            println!(
+                "{} -> {} ({} -> {} bytes, {:.1}% of raw)",
+                args[1],
+                args[4],
+                raw.len(),
+                blob.len(),
+                100.0 * blob.len() as f64 / raw.len() as f64
+            );
+            Ok(())
+        }
+        Some("decompress") if args.len() == 3 => {
+            let blob = fs::read(&args[1]).map_err(|e| format!("read {}: {e}", args[1]))?;
+            let tbe = serialize::from_bytes(&blob).map_err(|e| e.to_string())?;
+            let m = tbe.decompress();
+            let mut out = Vec::with_capacity(m.len() * 2);
+            for &v in m.as_slice() {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            fs::write(&args[2], &out).map_err(|e| format!("write {}: {e}", args[2]))?;
+            println!("{} -> {} ({}x{} BF16)", args[1], args[2], m.rows(), m.cols());
+            Ok(())
+        }
+        Some("inspect") if args.len() == 2 => {
+            let blob = fs::read(&args[1]).map_err(|e| format!("read {}: {e}", args[1]))?;
+            let tbe = serialize::from_bytes(&blob).map_err(|e| e.to_string())?;
+            let s = tbe.stats();
+            println!("shape            : {}x{}", tbe.rows(), tbe.cols());
+            println!("base exponent    : {}", tbe.base_exp());
+            println!("FragTiles        : {} in {} BlockTiles", tbe.tile_count(), tbe.block_count());
+            println!("raw bytes        : {}", s.raw_bytes);
+            println!("compressed bytes : {} ({:.1}% of raw)", s.compressed_bytes(), s.size_percent());
+            println!("bits / element   : {:.2}", s.bits_per_element());
+            println!("high-freq cover  : {:.2}%", 100.0 * s.coverage());
+            println!(
+                "sections         : bitmaps {} | sign/mantissa {} | fallback {} | offsets {}",
+                s.bitmap_bytes, s.high_freq_bytes, s.fallback_bytes, s.offset_bytes
+            );
+            Ok(())
+        }
+        Some("demo") if args.len() == 4 => {
+            let rows: usize = args[1].parse().map_err(|_| "rows must be an integer".to_string())?;
+            let cols: usize = args[2].parse().map_err(|_| "cols must be an integer".to_string())?;
+            let m = WeightGen::new(0.018).seed(1).matrix(rows, cols);
+            let tbe = TbeCompressor::new().compress(&m).map_err(|e| e.to_string())?;
+            fs::write(&args[3], serialize::to_bytes(&tbe))
+                .map_err(|e| format!("write {}: {e}", args[3]))?;
+            println!("wrote synthetic {rows}x{cols} model to {}", args[3]);
+            Ok(())
+        }
+        _ => Err(String::new()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => usage(),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

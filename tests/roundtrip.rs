@@ -1,0 +1,100 @@
+//! Cross-crate lossless round-trip tests: every codec in the repository
+//! must reproduce arbitrary BF16 weight streams bit-exactly.
+
+use proptest::prelude::*;
+use zipserv::bf16::{Bf16, Matrix};
+use zipserv::entropy::huffman::{ChunkedHuffman, HuffmanBlob};
+use zipserv::entropy::rans::RansBlob;
+use zipserv::entropy::split::{recombine, split_planes};
+use zipserv::kernels::decoupled::BaselineCodec;
+use zipserv::tbe::TbeCompressor;
+
+/// Arbitrary BF16 values over the full bit space (includes NaN payloads,
+/// infinities, subnormals and both zeros).
+fn any_bf16() -> impl Strategy<Value = Bf16> + Clone {
+    any::<u16>().prop_map(Bf16::from_bits)
+}
+
+/// Gaussian-ish weights: the common case.
+fn weight_bf16() -> impl Strategy<Value = Bf16> + Clone {
+    (-1.0f32..1.0).prop_map(|x| Bf16::from_f32(x * 0.05))
+}
+
+fn tileable_matrix(
+    values: impl Strategy<Value = Bf16> + Clone,
+) -> impl Strategy<Value = Matrix<Bf16>> {
+    (1usize..5, 1usize..5).prop_flat_map(move |(tr, tc)| {
+        proptest::collection::vec(values.clone(), tr * 8 * tc * 8)
+            .prop_map(move |v| Matrix::from_vec(tr * 8, tc * 8, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tca_tbe_roundtrips_gaussian_weights(m in tileable_matrix(weight_bf16())) {
+        let tbe = TbeCompressor::new().compress(&m).expect("tileable");
+        prop_assert_eq!(tbe.decompress(), m);
+    }
+
+    #[test]
+    fn tca_tbe_roundtrips_arbitrary_bits(m in tileable_matrix(any_bf16())) {
+        let tbe = TbeCompressor::new().compress(&m).expect("tileable");
+        let out = tbe.decompress();
+        for (a, b) in m.as_slice().iter().zip(out.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn huffman_roundtrips(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        let blob = HuffmanBlob::compress(&data).expect("non-empty");
+        prop_assert_eq!(blob.decompress().expect("valid"), data);
+    }
+
+    #[test]
+    fn chunked_huffman_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        chunk in 1usize..512,
+    ) {
+        let blob = ChunkedHuffman::compress(&data, chunk).expect("non-empty");
+        prop_assert_eq!(blob.decompress().expect("valid"), data);
+    }
+
+    #[test]
+    fn rans_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        streams in 1usize..33,
+    ) {
+        let blob = RansBlob::compress(&data, streams).expect("non-empty");
+        prop_assert_eq!(blob.decompress().expect("valid"), data);
+    }
+
+    #[test]
+    fn plane_split_roundtrips(weights in proptest::collection::vec(any_bf16(), 0..2048)) {
+        let planes = split_planes(&weights);
+        prop_assert_eq!(recombine(&planes), weights);
+    }
+
+    #[test]
+    fn baseline_codecs_roundtrip_weights(weights in proptest::collection::vec(weight_bf16(), 1..4096)) {
+        for codec in BaselineCodec::ALL {
+            let (_, restored) = codec.roundtrip(&weights).expect("valid");
+            prop_assert_eq!(&restored, &weights, "{}", codec);
+        }
+    }
+}
+
+#[test]
+fn all_65536_bit_patterns_survive_tca_tbe() {
+    // A matrix holding every possible BF16 bit pattern exactly once.
+    let m = Matrix::from_fn(256, 256, |r, c| Bf16::from_bits((r * 256 + c) as u16));
+    let tbe = TbeCompressor::new().compress(&m).expect("tileable");
+    let out = tbe.decompress();
+    for r in 0..256 {
+        for c in 0..256 {
+            assert_eq!(m[(r, c)].to_bits(), out[(r, c)].to_bits(), "({r},{c})");
+        }
+    }
+}

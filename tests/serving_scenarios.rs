@@ -1,0 +1,98 @@
+//! Serving-level integration scenarios across engines, models and clusters.
+
+use zipserv::gpu::device::Gpu;
+use zipserv::kernels::shapes::LlmModel;
+use zipserv::serve::cluster::GpuCluster;
+use zipserv::serve::engine::{EngineKind, ServingEngine};
+use zipserv::serve::scheduler::{poisson_arrivals, ContinuousBatcher};
+use zipserv::serve::workload::Workload;
+
+fn deployments() -> Vec<(LlmModel, GpuCluster)> {
+    vec![
+        (LlmModel::Llama31_8b, GpuCluster::single(Gpu::Rtx4090)),
+        (LlmModel::Mistral24b, GpuCluster::tensor_parallel(Gpu::L40s, 2)),
+        (LlmModel::Llama31_70b, GpuCluster::tensor_parallel(Gpu::L40s, 4)),
+    ]
+}
+
+#[test]
+fn compressed_engines_always_have_more_kv_headroom() {
+    for (model, cluster) in deployments() {
+        let zip = ServingEngine::new(EngineKind::ZipServ, model, cluster);
+        let vllm = ServingEngine::new(EngineKind::Vllm, model, cluster);
+        assert!(
+            zip.kv_capacity_tokens() > vllm.kv_capacity_tokens(),
+            "{model}"
+        );
+        assert!(zip.memory_plan().weight_bytes < vllm.memory_plan().weight_bytes);
+    }
+}
+
+#[test]
+fn throughput_ordering_is_stable_across_deployments() {
+    let w = Workload::new(8, 512, 256);
+    for (model, cluster) in deployments() {
+        let tput: Vec<f64> = EngineKind::ALL
+            .iter()
+            .map(|&k| ServingEngine::new(k, model, cluster).serve(w).throughput_tps)
+            .collect();
+        assert!(tput[0] > tput[1], "{model}: ZipServ vs vLLM");
+        assert!(tput[1] > tput[2], "{model}: vLLM vs Transformers");
+        assert!(tput[2] > tput[3], "{model}: Transformers vs DFloat11");
+    }
+}
+
+#[test]
+fn kv_pressure_reported_consistently() {
+    let cluster = GpuCluster::single(Gpu::Rtx4090);
+    let engine = ServingEngine::new(EngineKind::Vllm, LlmModel::Llama31_8b, cluster);
+    let light = engine.serve(Workload::new(4, 256, 128));
+    let heavy = engine.serve(Workload::new(32, 512, 2048));
+    assert!(light.kv_pressure < 1.0, "light load fits: {}", light.kv_pressure);
+    assert!(heavy.kv_pressure > light.kv_pressure);
+}
+
+#[test]
+fn prefill_grows_with_prompt_length() {
+    let cluster = GpuCluster::single(Gpu::Rtx4090);
+    for kind in EngineKind::ALL {
+        let engine = ServingEngine::new(kind, LlmModel::Llama31_8b, cluster);
+        let short = engine.prefill_ms(8, 128);
+        let long = engine.prefill_ms(8, 2048);
+        assert!(long > 2.0 * short, "{kind}: {short} -> {long}");
+    }
+}
+
+#[test]
+fn decode_step_grows_with_context() {
+    let cluster = GpuCluster::single(Gpu::Rtx4090);
+    let engine = ServingEngine::new(EngineKind::ZipServ, LlmModel::Llama31_8b, cluster);
+    let early = engine.decode_step(16, 256).total_ms();
+    let late = engine.decode_step(16, 4096).total_ms();
+    assert!(late > early, "attention must grow with the KV cache");
+}
+
+#[test]
+fn online_and_offline_views_agree_on_the_winner() {
+    // The continuous-batching simulation must reach the same conclusion as
+    // the static-batch sweep: ZipServ over vLLM.
+    let cluster = GpuCluster::single(Gpu::Rtx4090);
+    let arrivals = poisson_arrivals(6.0, 40, 512, 128, 23);
+    let zip = ServingEngine::new(EngineKind::ZipServ, LlmModel::Llama31_8b, cluster);
+    let vllm = ServingEngine::new(EngineKind::Vllm, LlmModel::Llama31_8b, cluster);
+    let rz = ContinuousBatcher::new(&zip).run(arrivals.clone());
+    let rv = ContinuousBatcher::new(&vllm).run(arrivals);
+    assert_eq!(rz.completions.len(), 40);
+    assert_eq!(rv.completions.len(), 40);
+    assert!(rz.throughput_tps >= rv.throughput_tps * 0.98);
+}
+
+#[test]
+fn bigger_batches_amortize_weight_reads() {
+    let cluster = GpuCluster::single(Gpu::Rtx4090);
+    let engine = ServingEngine::new(EngineKind::ZipServ, LlmModel::Llama31_8b, cluster);
+    let s8 = engine.decode_step(8, 512).total_ms();
+    let s32 = engine.decode_step(32, 512).total_ms();
+    // 4x the tokens for well under 4x the time (weights read once).
+    assert!(s32 < 2.0 * s8, "{s8} -> {s32}");
+}

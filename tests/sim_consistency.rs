@@ -1,0 +1,108 @@
+//! Cross-crate consistency of the performance model: the kernel executor,
+//! the roofline equations and the pipeline abstractions must tell the same
+//! story.
+
+use zipserv::gpu::device::Gpu;
+use zipserv::gpu::kernel::KernelProfile;
+use zipserv::gpu::memory::DramTraffic;
+use zipserv::gpu::occupancy::LaunchGrid;
+use zipserv::gpu::roofline::{attainable_tflops, compute_intensity, GemmShape, PipelineKind};
+use zipserv::kernels::cublas_model::CublasTc;
+use zipserv::kernels::fused::{FusedZipGemm, WeightStats};
+
+#[test]
+fn memory_bound_kernel_time_matches_bandwidth_math() {
+    let spec = Gpu::Rtx4090.spec();
+    let bytes = 1u64 << 30;
+    let mut p = KernelProfile::empty("copy");
+    p.dram = DramTraffic::streaming(bytes, 0);
+    p.grid = LaunchGrid {
+        blocks: 4096,
+        blocks_per_sm: 2,
+    };
+    let t = p.execute(&spec);
+    let expected = bytes as f64 / spec.effective_dram_bytes_per_us();
+    assert!((t.mem_us - expected).abs() / expected < 1e-9);
+}
+
+#[test]
+fn executor_agrees_with_roofline_on_the_bound() {
+    // For every pipeline kind, the executor's bottleneck matches what the
+    // roofline predicts from the compute intensity.
+    let spec = Gpu::Rtx4090.spec();
+    for n in [8u64, 32, 128, 1024, 8192] {
+        let shape = GemmShape::new(28672, 4096, n);
+        let ci = compute_intensity(shape, PipelineKind::DenseGemm, 1.51);
+        let predicted_mem_bound = ci < spec.ridge_flops_per_byte();
+        let t = CublasTc::time(shape, &spec);
+        match t.bottleneck() {
+            "mem" => assert!(predicted_mem_bound, "N={n}: executor says mem, roofline says compute (CI {ci})"),
+            "tensor" => assert!(!predicted_mem_bound, "N={n}: executor says tensor, roofline says memory (CI {ci})"),
+            other => panic!("unexpected bottleneck {other}"),
+        }
+    }
+}
+
+#[test]
+fn fused_speedup_tracks_compression_ratio_in_the_weight_dominated_limit() {
+    // Roofline Eq. 3: with N small and M·K huge, speedup → CR.
+    let spec = Gpu::Rtx4090.spec();
+    let shape = GemmShape::new(65536, 8192, 8);
+    let stats = WeightStats::synthetic(65536, 8192, 0.962);
+    let dense = CublasTc::time(shape, &spec).total_us;
+    let fused = FusedZipGemm::time(&stats, 8, &spec).total_us;
+    let speedup = dense / fused;
+    let cr = stats.ratio();
+    assert!(
+        speedup > 0.80 * cr && speedup < 1.15 * cr,
+        "speedup {speedup} vs CR {cr}"
+    );
+}
+
+#[test]
+fn attainable_performance_monotone_in_ci() {
+    let spec = Gpu::L40s.spec();
+    let mut last = 0.0;
+    for ci in [1.0, 5.0, 20.0, 80.0, 200.0, 1000.0] {
+        let t = attainable_tflops(&spec, ci);
+        assert!(t >= last);
+        last = t;
+    }
+    assert_eq!(last, spec.tensor_tflops_bf16);
+}
+
+#[test]
+fn higher_coverage_compresses_better_and_runs_faster() {
+    let spec = Gpu::Rtx4090.spec();
+    let mut last_bytes = u64::MAX;
+    let mut last_time = f64::INFINITY;
+    for coverage in [0.5, 0.8, 0.96, 1.0] {
+        let stats = WeightStats::synthetic(28672, 4096, coverage);
+        assert!(stats.compressed_bytes < last_bytes);
+        let t = FusedZipGemm::time(&stats, 32, &spec).total_us;
+        assert!(t <= last_time * 1.0001, "coverage {coverage}");
+        last_bytes = stats.compressed_bytes;
+        last_time = t;
+    }
+}
+
+#[test]
+fn every_gpu_orders_decode_kernels_identically() {
+    // On every device: Marlin (8-bit) <= fused-or-dense; decoupled worst.
+    use zipserv::kernels::decoupled::{BaselineCodec, DecoupledPipeline};
+    use zipserv::kernels::marlin_model::MarlinW8A16;
+    let shape = GemmShape::new(28672, 4096, 32);
+    let stats = WeightStats::synthetic(28672, 4096, 0.962);
+    for gpu in Gpu::ALL {
+        let spec = gpu.spec();
+        let marlin = MarlinW8A16::time(shape, &spec).total_us;
+        let dense = CublasTc::time(shape, &spec).total_us;
+        let fused = FusedZipGemm::time(&stats, 32, &spec).total_us;
+        let best_lossless = fused.min(dense);
+        let decoupled = DecoupledPipeline::new(BaselineCodec::DFloat11)
+            .time(shape, &spec)
+            .total_us();
+        assert!(marlin < best_lossless * 1.05, "{gpu:?}: lossy reads fewer bytes");
+        assert!(decoupled > 2.0 * best_lossless, "{gpu:?}: decoupled is far slower");
+    }
+}
