@@ -689,8 +689,11 @@ pub fn quant_stack() -> String {
     )
 }
 
-/// Every experiment in order: `(id, generator)`.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
+/// A named experiment: `(id, generator)`.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment in order.
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("fig01", fig01 as fn() -> String),
         ("fig02", fig02),

@@ -41,11 +41,11 @@ impl ExponentDistribution {
         let s = sigma * core::f64::consts::SQRT_2;
         // Zero + subnormal band: |w| < 2^-126.
         p[0] = erf(2f64.powi(-126) / s);
-        for e in 1..=254usize {
+        for (e, slot) in p.iter_mut().enumerate().take(255).skip(1) {
             let x = e as i32 - 127;
             // Clamp: erf differences in the far tail can go slightly negative
             // due to the ~1e-7 approximation error.
-            p[e] = abs_gaussian_band(sigma, 2f64.powi(x), 2f64.powi(x + 1)).max(0.0);
+            *slot = abs_gaussian_band(sigma, 2f64.powi(x), 2f64.powi(x + 1)).max(0.0);
         }
         // Overflow band folded into the top field.
         p[255] = (1.0 - erf(2f64.powi(128) / s)).max(0.0);

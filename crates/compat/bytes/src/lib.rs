@@ -1,0 +1,150 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container has no network access, so the workspace vendors the subset
+//! of the bytes API the serializers use: `BytesMut` as a growable write
+//! buffer with little-endian `put_*` methods (via `BufMut`), `Bytes` as its
+//! frozen read-only form, and `Buf::remaining` on byte slices. Everything is
+//! a thin wrapper around `Vec<u8>` — no refcounted zero-copy slicing.
+
+use std::ops::Deref;
+
+/// Read-side cursor trait; only `remaining` is needed by the codebase.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Buf for Bytes {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+/// Write-side sink trait with the little-endian primitive puts used by the
+/// `.ztbe` / `.zarc` serializers.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Growable byte buffer; freeze into [`Bytes`] when writing is done.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { inner: self.inner }
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Immutable byte blob. Unlike the real crate this owns its storage; clones
+/// copy. Fine for the test-scale payloads in this workspace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    inner: Vec<u8>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self {
+            inner: src.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(inner: Vec<u8>) -> Self {
+        Self { inner }
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_freeze() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"AB");
+        b.put_u8(0x01);
+        b.put_u16_le(0x0302);
+        b.put_u32_le(0x07060504);
+        b.put_u64_le(0x0f0e0d0c0b0a0908);
+        let frozen = b.freeze();
+        assert_eq!(
+            &frozen[..],
+            &[
+                b'A', b'B', 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f
+            ]
+        );
+        assert_eq!((&frozen[..]).remaining(), 17);
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container has no network access, so the workspace vendors the subset
+//! of the criterion API the 15 bench targets use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a simple wall-clock mean over `sample_size` timed runs
+//! after one warm-up run, printed as `ns/iter` (plus derived element
+//! throughput when set). Good enough to record a perf trajectory; not a
+//! statistical harness.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark driver. Mirrors criterion's builder-style configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; `iter` times the measured routine.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up doubles as calibration: batch enough calls per timed
+        // sample (~20µs) that Instant::now overhead (tens of ns) cannot
+        // dominate nanosecond-scale routines.
+        const TARGET_SAMPLE_NS: u64 = 20_000;
+        let start = Instant::now();
+        black_box(f());
+        let once_ns = (start.elapsed().as_nanos() as u64).max(1);
+        let batch = (TARGET_SAMPLE_NS / once_ns).clamp(1, 100_000);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<40} (no measurement: bencher.iter never called)");
+        return;
+    }
+    let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            let rate = n as f64 / (mean * 1e-9) / 1e6;
+            println!("{id:<40} {mean:>14.1} ns/iter {rate:>10.1} Melem/s");
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            let rate = n as f64 / (mean * 1e-9) / 1e6;
+            println!("{id:<40} {mean:>14.1} ns/iter {rate:>10.1} MB/s");
+        }
+        _ => println!("{id:<40} {mean:>14.1} ns/iter"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The container has no network access, so the workspace vendors the one
+//! piece of crossbeam the codebase uses: `crossbeam::scope` with
+//! `Scope::spawn`, implemented directly on top of `std::thread::scope`
+//! (stable since Rust 1.63, which postdates crossbeam's scoped-thread API).
+//! Semantics match the call sites' expectations: spawned closures receive a
+//! `&Scope` they may use for nested spawns, joins return `thread::Result`,
+//! and the outer `scope` call returns `Ok` unless the driving closure logic
+//! panicked (std propagates child panics on join, as the callers expect).
+
+use std::thread;
+
+/// Mirror of `crossbeam::thread::Scope`, backed by the std scoped-thread API.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives a
+    /// scope handle usable for nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&handle)),
+        }
+    }
+}
+
+/// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Mirror of `crossbeam::scope`: all threads spawned inside are joined
+/// before this returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, matching the real crate's layout.
+pub mod thread_mod {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_sum() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let v = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container has no network access, so the workspace vendors the small
+//! subset of the rand API the codebase actually uses: `Rng::gen`,
+//! `Rng::gen_range`, `Rng::gen_bool`, `SeedableRng::seed_from_u64` and
+//! `rngs::StdRng`. The generator is a splitmix64 stream — deterministic,
+//! seedable, and statistically good enough for synthetic weight generation,
+//! but NOT the ChaCha-based generator real `rand` ships.
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit stream.
+/// Stand-in for `Standard: Distribution<T>` in real rand.
+pub trait Standard: Sized {
+    fn from_u64(bits: u64) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_u64(bits: u64) -> $t {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of resolution.
+    #[inline]
+    fn from_u64(bits: u64) -> f32 {
+        (bits >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of resolution.
+    #[inline]
+    fn from_u64(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Subset of `rand::Rng`: everything is derived from `next_u64`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    #[inline]
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from a half-open range.
+pub trait SampleRange: Sized {
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample(bits: u64, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                (range.start as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    #[inline]
+    fn sample(bits: u64, range: Range<f64>) -> f64 {
+        range.start + f64::from_u64(bits) * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    #[inline]
+    fn sample(bits: u64, range: Range<f32>) -> f32 {
+        range.start + f32::from_u64(bits) * (range.end - range.start)
+    }
+}
+
+/// Subset of `rand::SeedableRng`: only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+}

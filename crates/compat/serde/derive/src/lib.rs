@@ -1,0 +1,20 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata on
+//! plain-old-data structs — nothing in the codebase ever invokes a serializer
+//! on a derived type (the one hand-written impl lives in `zipserv-bf16`). The
+//! derives therefore expand to nothing: the attribute compiles, no impl is
+//! generated, and any future call site that actually needs a derived impl
+//! fails loudly at compile time instead of silently mis-serializing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The container has no network access, so the workspace vendors the sliver
+//! of the serde API it actually touches: the `Serialize` / `Deserialize`
+//! traits (with primitive impls), minimal `Serializer` / `Deserializer`
+//! traits, and no-op derive macros. No data format ships with this crate;
+//! the derives are metadata-only (see `serde_derive`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Subset of `serde::Serializer`: only the primitive sinks the codebase uses.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Subset of `serde::Serialize`.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Subset of `serde::Deserializer`: primitive sources only.
+pub trait Deserializer<'de>: Sized {
+    type Error;
+
+    fn deserialize_u16(self) -> Result<u16, Self::Error>;
+    fn deserialize_u32(self) -> Result<u32, Self::Error>;
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+}
+
+/// Subset of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! primitive_impls {
+    ($($t:ty => $ser:ident / $de:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                deserializer.$de()
+            }
+        }
+    )*};
+}
+
+primitive_impls! {
+    u16 => serialize_u16 / deserialize_u16,
+    u32 => serialize_u32 / deserialize_u32,
+    u64 => serialize_u64 / deserialize_u64,
+    f64 => serialize_f64 / deserialize_f64,
+}

@@ -146,4 +146,93 @@ mod tests {
     fn coverage_bounds_checked() {
         let _ = average_bits(3, 1.5);
     }
+
+    /// Edge cases of the concrete 3-bit codeword encoding the analysis above
+    /// justifies: codeword `000` as the fallback indicator, the window
+    /// boundary codewords `001`/`111`, and BaseExp selection when the best
+    /// window would start at exponent 0 (which must not underflow).
+    mod three_bit_edges {
+        use crate::compress::TbeCompressor;
+        use crate::format::tile::EncodedTile;
+        use crate::format::{FRAG_ELEMS, WINDOW};
+        use zipserv_bf16::stats::ExponentHistogram;
+        use zipserv_bf16::{Bf16, Matrix};
+
+        /// BF16 bits with the given biased exponent and a recognizable
+        /// sign/mantissa payload.
+        fn with_exponent(e: u8) -> Bf16 {
+            Bf16::from_bits(((e as u16) << 7) | 0x2a)
+        }
+
+        #[test]
+        fn codeword_000_means_fallback() {
+            let base = 120u8;
+            let mut tile = [with_exponent(base + 3); FRAG_ELEMS];
+            // Below the window (c = -2), at base itself (c = 0) and far above
+            // (c = 9): all three must take the 000 fallback path.
+            tile[5] = with_exponent(base - 2);
+            tile[6] = with_exponent(base);
+            tile[7] = with_exponent(base + WINDOW as u8 + 2);
+            let enc = EncodedTile::encode(&tile, base);
+            for p in [5, 6, 7] {
+                assert_eq!(enc.codeword(p), 0b000, "element {p}");
+            }
+            assert_eq!(enc.fallback_count(), 3);
+            // Fallback stores the full 16 bits, so decode is exact.
+            assert_eq!(enc.decode(base), tile);
+        }
+
+        #[test]
+        fn window_boundary_codewords_001_and_111() {
+            let base = 120u8;
+            let mut tile = [with_exponent(base + 4); FRAG_ELEMS];
+            tile[0] = with_exponent(base + 1); // bottom of window
+            tile[63] = with_exponent(base + WINDOW as u8); // top of window
+            let enc = EncodedTile::encode(&tile, base);
+            assert_eq!(enc.codeword(0), 0b001, "e = base+1 is in-window");
+            assert_eq!(enc.codeword(63), 0b111, "e = base+7 is in-window");
+            assert_eq!(enc.fallback_count(), 0);
+            assert_eq!(enc.decode(base), tile);
+        }
+
+        #[test]
+        fn base_exp_does_not_underflow_at_exponent_zero() {
+            // All-subnormal/zero weights: every exponent is 0, so the best
+            // 7-window starts at 0. BaseExp = start - 1 would underflow to
+            // 255; the compressor must clamp to 0 instead.
+            let zeros: Vec<Bf16> = (0..128).map(|i| Bf16::from_bits(i as u16 & 0x7f)).collect();
+            let hist = ExponentHistogram::from_values(zeros);
+            assert_eq!(TbeCompressor::select_base_exp(&hist), 0);
+        }
+
+        #[test]
+        fn subnormal_matrix_roundtrips_via_fallback() {
+            // With BaseExp = 0, exponent-0 elements have c = 0 and must all
+            // take the fallback path — and still round-trip bit-exactly.
+            let m = Matrix::from_fn(8, 8, |r, c| Bf16::from_bits((r * 8 + c) as u16 & 0x7f));
+            let tbe = TbeCompressor::new().compress(&m).expect("tileable");
+            assert_eq!(tbe.base_exp(), 0);
+            let out = tbe.decompress();
+            for (a, b) in m.as_slice().iter().zip(out.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn exponent_one_is_encodable_with_clamped_base() {
+            // BaseExp = 0 keeps exponent 1 (codeword 001) through exponent 7
+            // (codeword 111) in-window.
+            let base = 0u8;
+            let mut tile = [with_exponent(4); FRAG_ELEMS];
+            tile[0] = with_exponent(1);
+            tile[1] = with_exponent(WINDOW as u8);
+            tile[2] = Bf16::from_bits(0); // exponent 0 → fallback
+            let enc = EncodedTile::encode(&tile, base);
+            assert_eq!(enc.codeword(0), 0b001);
+            assert_eq!(enc.codeword(1), 0b111);
+            assert_eq!(enc.codeword(2), 0b000);
+            assert_eq!(enc.fallback_count(), 1);
+            assert_eq!(enc.decode(base), tile);
+        }
+    }
 }

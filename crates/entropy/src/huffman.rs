@@ -155,8 +155,8 @@ impl HuffmanTable {
             return 0.0;
         }
         let mut bits = 0.0;
-        for s in 0..256usize {
-            bits += freqs[s] as f64 * self.lengths[s] as f64;
+        for (&f, &len) in freqs.iter().zip(self.lengths.iter()) {
+            bits += f as f64 * len as f64;
         }
         bits / total as f64
     }
@@ -254,11 +254,11 @@ fn huffman_code_lengths(freqs: &[u64; 256]) -> Result<[u8; 256], CodecError> {
     let mut nodes: Vec<Node> = Vec::new();
     let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, usize)>> =
         std::collections::BinaryHeap::new();
-    for s in 0..256usize {
-        if freqs[s] > 0 {
+    for (s, &freq) in freqs.iter().enumerate() {
+        if freq > 0 {
             let id = nodes.len();
             nodes.push(Node {
-                weight: freqs[s],
+                weight: freq,
                 children: None,
                 symbol: s as u8,
                 depth_tiebreak: 0,
@@ -475,9 +475,9 @@ impl DecodeTrace {
         // CDF over lengths.
         let mut cdf = [0.0f64; MAX_CODE_LEN as usize + 1];
         let mut acc = 0.0;
-        for len in 0..cdf.len() {
+        for (len, slot) in cdf.iter_mut().enumerate() {
             acc += self.length_histogram[len] as f64 / n;
-            cdf[len] = acc;
+            *slot = acc;
         }
         // E[max of 32 iid draws] = sum over len of P(max >= len).
         let mut expected_max = 0.0;
@@ -716,8 +716,8 @@ mod tests {
         // Exponentially decaying frequencies force deep unrestricted codes.
         let mut freqs = [0u64; 256];
         let mut f = 1u64 << 50;
-        for s in 0..40usize {
-            freqs[s] = f.max(1);
+        for slot in freqs.iter_mut().take(40) {
+            *slot = f.max(1);
             f /= 3;
         }
         let t = HuffmanTable::from_frequencies(&freqs).unwrap();

@@ -51,17 +51,11 @@ impl BlockResources {
         assert!(self.threads > 0 && self.threads.is_multiple_of(32), "threads must be warps");
         let by_threads = Self::max_threads_per_sm(spec.arch) / self.threads;
         let regs_per_block = self.registers_per_thread * self.threads;
-        let by_registers = if regs_per_block == 0 {
-            u32::MAX
-        } else {
-            Self::REGISTERS_PER_SM / regs_per_block
-        };
+        let by_registers = Self::REGISTERS_PER_SM
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
         let smem_per_sm = spec.shared_kib_per_sm * 1024;
-        let by_shared = if self.shared_bytes == 0 {
-            u32::MAX
-        } else {
-            smem_per_sm / self.shared_bytes
-        };
+        let by_shared = smem_per_sm.checked_div(self.shared_bytes).unwrap_or(u32::MAX);
         by_threads
             .min(by_registers)
             .min(by_shared)

@@ -279,7 +279,7 @@ mod tests {
                 let t = p.execute(&spec);
                 dram_total += t.mem_us;
                 times.push(t.total_us);
-                ids.push(sim.submit((i % 3) as usize, &p, &deps));
+                ids.push(sim.submit(i % 3, &p, &deps));
             }
             let makespan = sim.makespan_us();
             let longest = times.iter().cloned().fold(0.0, f64::max);

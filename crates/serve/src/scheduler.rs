@@ -148,8 +148,7 @@ impl<'a> ContinuousBatcher<'a> {
 
         while !queue.is_empty() || !running.is_empty() {
             // Admit while capacity and the batch cap allow.
-            loop {
-                let Some(next) = queue.front() else { break };
+            while let Some(next) = queue.front() {
                 if next.arrival_s > now && running.is_empty() {
                     // Idle: jump to the next arrival.
                     now = next.arrival_s;

@@ -7,7 +7,7 @@ use zipserv::entropy::huffman::{ChunkedHuffman, HuffmanBlob};
 use zipserv::entropy::rans::RansBlob;
 use zipserv::entropy::split::{recombine, split_planes};
 use zipserv::kernels::decoupled::BaselineCodec;
-use zipserv::tbe::TbeCompressor;
+use zipserv::tbe::{TbeCompressor, TbeError};
 
 /// Arbitrary BF16 values over the full bit space (includes NaN payloads,
 /// infinities, subnormals and both zeros).
@@ -75,6 +75,21 @@ proptest! {
     fn plane_split_roundtrips(weights in proptest::collection::vec(any_bf16(), 0..2048)) {
         let planes = split_planes(&weights);
         prop_assert_eq!(recombine(&planes), weights);
+    }
+
+    #[test]
+    fn non_tileable_dimensions_rejected_not_panicked(
+        rows in 1usize..64,
+        cols in 1usize..64,
+    ) {
+        // TCA-TBE tiles are 8x8: any dimension that is not a multiple of 8
+        // must be rejected with a typed error, never a panic.
+        prop_assume!(rows % 8 != 0 || cols % 8 != 0);
+        let m = Matrix::from_fn(rows, cols, |r, c| {
+            Bf16::from_f32(((r * 31 + c) as f32).sin() * 0.05)
+        });
+        let got = TbeCompressor::new().compress(&m);
+        prop_assert_eq!(got, Err(TbeError::NotTileable { rows, cols }));
     }
 
     #[test]
