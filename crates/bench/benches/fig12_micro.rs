@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use zipserv_bench::figures;
 use zipserv_bf16::gen::WeightGen;
 use zipserv_core::decompress::decode_tile_lanewise;
-use zipserv_core::TbeCompressor;
+use zipserv_core::{TbeCompressor, ZipGemm};
 
 fn bench(c: &mut Criterion) {
     println!("{}", figures::fig12());
@@ -13,6 +13,17 @@ fn bench(c: &mut Criterion) {
     let tbe = TbeCompressor::new().compress(&w).expect("tileable");
     c.bench_function("fig12/decode_tile_lanewise", |b| {
         b.iter(|| decode_tile_lanewise(black_box(tbe.tile_view(0)), tbe.base_exp()));
+    });
+
+    // One BlockTile-sized fused pass, naive vs blocked: at the micro level
+    // the win is exactly the per-tile decode caching + register blocking.
+    let x = WeightGen::new(0.5).seed(13).matrix(64, 32);
+    let kernel = ZipGemm::new();
+    c.bench_function("fig12/zipgemm_naive_64x64xb32", |b| {
+        b.iter(|| kernel.multiply_reference(black_box(&tbe), black_box(&x)));
+    });
+    c.bench_function("fig12/zipgemm_blocked_64x64xb32", |b| {
+        b.iter(|| kernel.multiply(black_box(&tbe), black_box(&x)));
     });
 }
 

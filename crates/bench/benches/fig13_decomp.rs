@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use zipserv_bench::figures;
 use zipserv_bf16::gen::WeightGen;
-use zipserv_core::TbeCompressor;
+use zipserv_core::{TbeCompressor, ZipGemm};
 use zipserv_entropy::huffman::ChunkedHuffman;
 use zipserv_entropy::rans::RansBlob;
 use zipserv_entropy::split::split_planes;
@@ -31,6 +31,14 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("rans_dietgpu", |b| {
         b.iter(|| black_box(&rans).decompress().expect("valid"));
+    });
+    // The fused alternative: instead of decompressing to a dense matrix,
+    // run the blocked ZipGEMM straight off the compressed form (decode
+    // batch of 8 columns) — decode work identical, GEMM folded in.
+    let x = WeightGen::new(0.5).seed(14).matrix(1024, 8);
+    let kernel = ZipGemm::new();
+    group.bench_function("tca_tbe_fused_gemm_b8", |b| {
+        b.iter(|| kernel.multiply(black_box(&tbe), black_box(&x)));
     });
     group.finish();
 }

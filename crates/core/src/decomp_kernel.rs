@@ -30,7 +30,10 @@ pub fn decomp_kernel_profile(w: &TbeMatrix) -> KernelProfile {
 
     let mut p = KernelProfile::empty("zipserv-decomp");
     p.dram = DramTraffic::streaming(compressed, raw).with_efficiency(DECOMP_EFFICIENCY);
-    p.smem = SharedMemTraffic::conflict_free(tiles * DecodeCost::TCA_TBE.lds_per_tile);
+    // A decompression pass decodes each tile exactly once (one consumer).
+    let decodes = DecodeCost::tile_decodes(tiles, 1, true);
+    p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
+    debug_assert_eq!(decodes * crate::format::FRAG_ELEMS as u64, elems);
     p.alu = ZipGemm::decode_mix(elems);
     p.divergence = 1.0;
     // One thread block per BlockTile.

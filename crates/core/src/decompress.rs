@@ -99,6 +99,21 @@ impl DecodeCost {
     pub fn ops_per_element(&self) -> u64 {
         self.lop3 + self.iadd + self.popc + self.shift + self.sel
     }
+
+    /// Tile decodes one pass over `tiles` FragTiles performs.
+    ///
+    /// With per-tile decode caching (`cached == true`, the blocked ZipGEMM)
+    /// each FragTile is decoded exactly **once per pass**, no matter how
+    /// many of the `n_blocks` output `N`-blocks consume it. Without caching
+    /// every consuming block re-decodes the tile — the per-*use* accounting
+    /// the cost model used to assume implicitly.
+    pub fn tile_decodes(tiles: u64, n_blocks: u64, cached: bool) -> u64 {
+        if cached {
+            tiles
+        } else {
+            tiles * n_blocks.max(1)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,5 +190,17 @@ mod tests {
         let c = DecodeCost::TCA_TBE;
         assert_eq!(c.ops_per_element(), 9);
         assert!(c.popc == 1 && c.lds_per_tile == 5);
+    }
+
+    #[test]
+    fn cached_decodes_are_per_tile_per_pass() {
+        // Cached: one decode per tile regardless of how many N-blocks use it.
+        assert_eq!(DecodeCost::tile_decodes(100, 1, true), 100);
+        assert_eq!(DecodeCost::tile_decodes(100, 8, true), 100);
+        // Uncached: one decode per tile per consuming block.
+        assert_eq!(DecodeCost::tile_decodes(100, 8, false), 800);
+        // A pass with no consumers still decodes each tile once (pure
+        // decompression).
+        assert_eq!(DecodeCost::tile_decodes(100, 0, false), 100);
     }
 }

@@ -2,18 +2,29 @@
 //!
 //! Two faces of the same kernel live here:
 //!
-//! * [`ZipGemm::multiply`] — the *functional* kernel: computes
+//! * the *functional* kernels — [`ZipGemm::multiply`] (blocked, serial),
+//!   [`ZipGemm::multiply_parallel`] (blocked, row strips across threads) and
+//!   [`ZipGemm::multiply_reference`] (the naive triple loop) — compute
 //!   `Y = W · X` directly from the compressed TCA-TBE weights, decoding each
 //!   FragTile into "registers" on the fly (never materializing the full
-//!   weight matrix) with FP32 accumulation in ascending-`k` order, so the
-//!   result is bitwise identical to a dense GEMM over the decompressed
+//!   weight matrix) with FP32 accumulation in ascending-`k` order, so all
+//!   three are bitwise identical to a dense GEMM over the decompressed
 //!   weights;
 //! * [`ZipGemm::kernel_profile`] — the *performance* kernel: the cost sheet
 //!   (DRAM, ALU, Tensor-Core, grid, pipeline mode) handed to the GPU model.
+//!
+//! The blocked paths share the internal `microkernel` machinery: each
+//! compressed tile is decoded **once per pass** into an `f32` scratch panel,
+//! the activation matrix is pre-converted once, and a register-blocked
+//! `FRAG_DIM × NB` micro-kernel sweeps `N`-blocks so no BF16 conversion or
+//! bounds-checked indexing survives in the innermost loop.
+
+mod microkernel;
 
 use crate::decompress::{decode_tile_lanewise, DecodeCost};
-use crate::format::layout::{block_sequence, TbeMatrix};
-use crate::format::FRAG_DIM;
+use crate::format::layout::TbeMatrix;
+use crate::format::{FRAG_DIM, FRAG_ELEMS};
+use microkernel::{compute_strip, ActPanel, SeqMap};
 use zipserv_bf16::{Bf16, Matrix};
 use zipserv_gpu_sim::instr::{InstrKind, InstrMix};
 use zipserv_gpu_sim::kernel::{ExecutionMode, KernelProfile};
@@ -59,6 +70,11 @@ impl ZipGemm {
     /// `W` is the `M×K` compressed weight matrix, `X` a dense `K×N`
     /// activation matrix; the result accumulates in FP32.
     ///
+    /// This is the blocked hot path: per-tile decode caching plus the
+    /// register-blocked micro-kernel. It produces the same bits as
+    /// [`ZipGemm::multiply_reference`] (and as a dense GEMM over the
+    /// decompressed weights), just faster.
+    ///
     /// # Panics
     ///
     /// Panics if `x.rows() != w.cols()`.
@@ -70,36 +86,50 @@ impl ZipGemm {
         );
         let (m, k, n) = (w.rows(), w.cols(), x.cols());
         let mut y = Matrix::<f32>::zeros(m, n);
-
-        // Locate each FragTile's sequence index so we can stream tiles in
-        // ascending-k order per row strip (the accumulation order contract).
-        let blocks = block_sequence(m, k);
-        let tiles_k = k / FRAG_DIM;
-        let mut seq_of = vec![0usize; (m / FRAG_DIM) * tiles_k];
-        let mut seq = 0usize;
-        for block in &blocks {
-            for &(tr, tc) in block {
-                seq_of[tr * tiles_k + tc] = seq;
-                seq += 1;
-            }
+        if m == 0 || n == 0 {
+            return y;
         }
+        let seq = SeqMap::new(m, k);
+        let x = ActPanel::pack(x);
+        compute_strip(w, &seq, &x, 0, m / FRAG_DIM, y.as_mut_slice());
+        y
+    }
+
+    /// The naive reference kernel: the original triple loop, kept as the
+    /// correctness and performance baseline the blocked paths are measured
+    /// against.
+    ///
+    /// Decodes each tile on the fly and walks every output element with
+    /// bounds-checked indexing; activations are still pre-widened once (the
+    /// per-FMA `to_f32` re-conversion was pure waste on every path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != w.cols()`.
+    pub fn multiply_reference(&self, w: &TbeMatrix, x: &Matrix<Bf16>) -> Matrix<f32> {
+        assert_eq!(
+            x.rows(),
+            w.cols(),
+            "activation rows must match weight cols"
+        );
+        let (m, k, n) = (w.rows(), w.cols(), x.cols());
+        let mut y = Matrix::<f32>::zeros(m, n);
+        let seq = SeqMap::new(m, k);
+        // Hoisted: one widening per activation element, not one per use.
+        let xf = ActPanel::pack(x);
 
         for tr in 0..m / FRAG_DIM {
-            for tk in 0..tiles_k {
+            for tk in 0..seq.tiles_k() {
                 // "Load compressed, compute decompressed": the tile lives
                 // only in this stack frame (the register file).
-                let tile = decode_tile_lanewise(
-                    w.tile_view(seq_of[tr * tiles_k + tk]),
-                    w.base_exp(),
-                );
+                let tile = decode_tile_lanewise(w.tile_view(seq.seq(tr, tk)), w.base_exp());
                 for local_r in 0..FRAG_DIM {
                     let row = tr * FRAG_DIM + local_r;
                     for col in 0..n {
                         let mut acc = y[(row, col)];
                         for kk in 0..FRAG_DIM {
                             let wv = tile[local_r * FRAG_DIM + kk].to_f32();
-                            let xv = x[(tk * FRAG_DIM + kk, col)].to_f32();
-                            acc += wv * xv;
+                            acc += wv * xf.row(tk * FRAG_DIM + kk)[col];
                         }
                         y[(row, col)] = acc;
                     }
@@ -118,7 +148,13 @@ impl ZipGemm {
 
     /// Multi-threaded fused multiply. Output rows are independent (each
     /// accumulates its own ascending-`k` chain), so sharding row strips
-    /// across threads is bitwise identical to [`ZipGemm::multiply`].
+    /// across threads is bitwise identical to [`ZipGemm::multiply`]; every
+    /// worker drives the same blocked micro-kernel as the serial path.
+    ///
+    /// Degenerate shapes are safe: zero-column activations return
+    /// immediately, and workers whose strip starts at or past the last tile
+    /// row do no work (with `tile_rows = 5` and 4 workers the ceiling chunk
+    /// of 2 hands worker 3 the empty strip `6..5`).
     ///
     /// # Panics
     ///
@@ -134,53 +170,29 @@ impl ZipGemm {
         let (m, k, n) = (w.rows(), w.cols(), x.cols());
         let tile_rows = m / FRAG_DIM;
         let workers = threads.min(tile_rows).max(1);
-        if workers == 1 {
+        if workers == 1 || n == 0 {
             return self.multiply(w, x);
         }
 
-        // Sequence index lookup, shared read-only across workers.
-        let blocks = block_sequence(m, k);
-        let tiles_k = k / FRAG_DIM;
-        let mut seq_of = vec![0usize; tile_rows * tiles_k];
-        let mut seq = 0usize;
-        for block in &blocks {
-            for &(tr, tc) in block {
-                seq_of[tr * tiles_k + tc] = seq;
-                seq += 1;
-            }
-        }
-        let seq_of = &seq_of;
+        // Sequence lookup and activation panel, shared read-only.
+        let seq = SeqMap::new(m, k);
+        let panel = ActPanel::pack(x);
+        let (seq, panel) = (&seq, &panel);
 
         let chunk = tile_rows.div_ceil(workers);
         let mut strips: Vec<(usize, Vec<f32>)> = Vec::new();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|wi| {
-                    let start_tr = wi * chunk;
+                    // Clamp: the ceiling chunk can push trailing workers
+                    // past the end; `start_tr > tile_rows` would underflow
+                    // the row count below.
+                    let start_tr = (wi * chunk).min(tile_rows);
                     let end_tr = ((wi + 1) * chunk).min(tile_rows);
                     scope.spawn(move |_| {
                         let rows = (end_tr - start_tr) * FRAG_DIM;
                         let mut local = vec![0f32; rows * n];
-                        for tr in start_tr..end_tr {
-                            for tk in 0..tiles_k {
-                                let tile = decode_tile_lanewise(
-                                    w.tile_view(seq_of[tr * tiles_k + tk]),
-                                    w.base_exp(),
-                                );
-                                for local_r in 0..FRAG_DIM {
-                                    let row = (tr - start_tr) * FRAG_DIM + local_r;
-                                    for col in 0..n {
-                                        let mut acc = local[row * n + col];
-                                        for kk in 0..FRAG_DIM {
-                                            let wv = tile[local_r * FRAG_DIM + kk].to_f32();
-                                            let xv = x[(tk * FRAG_DIM + kk, col)].to_f32();
-                                            acc += wv * xv;
-                                        }
-                                        local[row * n + col] = acc;
-                                    }
-                                }
-                            }
-                        }
+                        compute_strip(w, seq, panel, start_tr, end_tr, &mut local);
                         (start_tr, local)
                     })
                 })
@@ -193,12 +205,14 @@ impl ZipGemm {
 
         let mut y = Matrix::<f32>::zeros(m, n);
         for (start_tr, local) in strips {
+            if local.is_empty() {
+                continue;
+            }
             let row0 = start_tr * FRAG_DIM;
             let rows = local.len() / n;
             for r in 0..rows {
-                for c in 0..n {
-                    y[(row0 + r, c)] = local[r * n + c];
-                }
+                y.as_mut_slice()[(row0 + r) * n..(row0 + r + 1) * n]
+                    .copy_from_slice(&local[r * n..(r + 1) * n]);
             }
         }
         y
@@ -249,9 +263,12 @@ impl ZipGemm {
         // Conflict-free by construction (§4.2); the residual ~4.7K conflicts
         // of Figure 12(c) are noise next to DietGPU's millions.
         let tiles = w.tile_count() as u64;
+        // Per-tile decode caching: each tile is decoded once per pass, no
+        // matter how many N-blocks consume it.
+        let decodes = DecodeCost::tile_decodes(tiles, n.div_ceil(TILE_N), true);
         profile.smem =
-            SharedMemTraffic::conflict_free(tiles * DecodeCost::TCA_TBE.lds_per_tile);
-        profile.alu = Self::decode_mix(m * k);
+            SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
+        profile.alu = Self::decode_mix(decodes * FRAG_ELEMS as u64);
         profile.divergence = 1.0; // fixed-length decode: no divergence
         profile.tensor_flops = 2.0 * m as f64 * n as f64 * k as f64;
         profile.grid = LaunchGrid::for_gemm(m, n, TILE_M, TILE_N, self.split_k)
@@ -315,6 +332,20 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matches_reference_across_n_block_boundaries() {
+        // Column counts straddling the NB=16 micro-kernel width: ragged
+        // trailing blocks, exact fits, and single columns.
+        let w = WeightGen::new(0.02).seed(41).outliers(0.04, 25.0).matrix(72, 80);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        for n in [1usize, 2, 7, 15, 16, 17, 31, 32, 33, 48] {
+            let x = WeightGen::new(0.6).seed(42 + n as u64).matrix(80, n);
+            let blocked = ZipGemm::new().multiply(&tbe, &x);
+            let naive = ZipGemm::new().multiply_reference(&tbe, &x);
+            assert_eq!(blocked.as_slice(), naive.as_slice(), "n={n}");
+        }
+    }
+
+    #[test]
     fn bf16_output_rounds_the_f32_result() {
         let w = WeightGen::new(0.02).seed(15).matrix(64, 64);
         let x = WeightGen::new(0.3).seed(16).matrix(64, 8);
@@ -346,6 +377,18 @@ mod tests {
         assert!((p.dram.read_bytes as f64) < 0.78 * dense_read as f64);
         assert!(p.tensor_flops > 0.0);
         assert_eq!(p.divergence, 1.0);
+    }
+
+    #[test]
+    fn profile_decode_work_is_independent_of_n() {
+        // Cached decodes: the ALU decode mix prices each tile once per
+        // pass, so widening the activation batch adds no decode work.
+        let w = WeightGen::new(0.018).seed(19).matrix(256, 256);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let narrow = ZipGemm::new().kernel_profile(&tbe, 8);
+        let wide = ZipGemm::new().kernel_profile(&tbe, 512);
+        assert_eq!(narrow.alu.total(), wide.alu.total());
+        assert!(wide.tensor_flops > narrow.tensor_flops);
     }
 
     #[test]
@@ -383,6 +426,46 @@ mod tests {
             let parallel = ZipGemm::new().multiply_parallel(&tbe, &x, threads);
             assert_eq!(serial.as_slice(), parallel.as_slice(), "threads {threads}");
         }
+    }
+
+    #[test]
+    fn parallel_worker_past_last_tile_row_is_safe() {
+        // Regression: tile_rows = 5 with 4 workers gives a ceiling chunk of
+        // 2, so worker 3 gets the empty strip 6..5 — previously an unsigned
+        // underflow when sizing its local buffer.
+        let w = WeightGen::new(0.02).seed(33).matrix(40, 64);
+        let x = WeightGen::new(0.7).seed(34).matrix(64, 8);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let serial = ZipGemm::new().multiply(&tbe, &x);
+        for threads in [4, 5] {
+            let parallel = ZipGemm::new().multiply_parallel(&tbe, &x, threads);
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_column_activations_are_safe() {
+        let w = WeightGen::new(0.02).seed(35).matrix(64, 64);
+        let x = Matrix::<Bf16>::zeros(64, 0);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        for y in [
+            ZipGemm::new().multiply(&tbe, &x),
+            ZipGemm::new().multiply_reference(&tbe, &x),
+            ZipGemm::new().multiply_parallel(&tbe, &x, 4),
+        ] {
+            assert_eq!((y.rows(), y.cols()), (64, 0));
+            assert!(y.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_tile_row_parallel_is_safe() {
+        let w = WeightGen::new(0.02).seed(36).matrix(8, 64);
+        let x = WeightGen::new(0.5).seed(37).matrix(64, 5);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let serial = ZipGemm::new().multiply(&tbe, &x);
+        let parallel = ZipGemm::new().multiply_parallel(&tbe, &x, 8);
+        assert_eq!(serial.as_slice(), parallel.as_slice());
     }
 
     #[test]

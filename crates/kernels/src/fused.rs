@@ -12,6 +12,7 @@ use zipserv_bf16::{Bf16, Matrix};
 use zipserv_gpu_sim::device::{Arch, Tier};
 use zipserv_core::decompress::DecodeCost;
 use zipserv_core::format::layout::TbeMatrix;
+use zipserv_core::format::FRAG_ELEMS;
 use zipserv_core::zipgemm::{ZipGemm, TILE_M, TILE_N};
 use zipserv_gpu_sim::device::DeviceSpec;
 use zipserv_gpu_sim::kernel::{ExecutionMode, KernelProfile, KernelTime};
@@ -88,9 +89,33 @@ impl FusedZipGemm {
         }
     }
 
-    /// Bit-exact fused multiply (delegates to [`ZipGemm::multiply`]).
+    /// Bit-exact fused multiply on the blocked hot path (delegates to
+    /// [`ZipGemm::multiply`]).
     pub fn multiply(&self, w: &TbeMatrix, x: &Matrix<Bf16>) -> Matrix<f32> {
         self.inner.multiply(w, x)
+    }
+
+    /// Bit-exact fused multiply sharded over `threads` row-strip workers
+    /// (delegates to [`ZipGemm::multiply_parallel`]; same micro-kernel,
+    /// same bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `x.rows() != w.cols()`.
+    pub fn multiply_parallel(
+        &self,
+        w: &TbeMatrix,
+        x: &Matrix<Bf16>,
+        threads: usize,
+    ) -> Matrix<f32> {
+        self.inner.multiply_parallel(w, x, threads)
+    }
+
+    /// The naive reference kernel (delegates to
+    /// [`ZipGemm::multiply_reference`]) — the baseline the blocked paths are
+    /// benchmarked against.
+    pub fn multiply_reference(&self, w: &TbeMatrix, x: &Matrix<Bf16>) -> Matrix<f32> {
+        self.inner.multiply_reference(w, x)
     }
 
     /// Achievable DRAM fraction for the fused kernel. ZipGEMM's memory path
@@ -127,13 +152,16 @@ impl FusedZipGemm {
         let act_bytes = 2 * stats.k * n;
         let out_bytes = 2 * stats.m * n;
         let elems = stats.m * stats.k;
-        let tiles = elems / 64;
+        let tiles = elems / FRAG_ELEMS as u64;
 
         let mut p = KernelProfile::empty("zipgemm");
         p.dram = DramTraffic::streaming(stats.compressed_bytes + act_bytes, out_bytes)
             .with_efficiency(Self::fused_mem_efficiency(spec));
-        p.smem = SharedMemTraffic::conflict_free(tiles * DecodeCost::TCA_TBE.lds_per_tile);
-        p.alu = ZipGemm::decode_mix(elems);
+        // Per-tile decode caching: one decode per tile per pass, not one per
+        // consuming N-block.
+        let decodes = DecodeCost::tile_decodes(tiles, n.div_ceil(TILE_N), true);
+        p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
+        p.alu = ZipGemm::decode_mix(decodes * FRAG_ELEMS as u64);
         p.divergence = 1.0;
         p.tensor_flops = 2.0 * stats.m as f64 * n as f64 * stats.k as f64;
         p.grid = LaunchGrid::for_gemm(stats.m, n, TILE_M, TILE_N, 2).with_residency(2);
@@ -155,7 +183,8 @@ impl FusedZipGemm {
         let mut p = KernelProfile::empty("zipserv-decomp");
         p.dram = DramTraffic::streaming(stats.compressed_bytes, stats.raw_bytes())
             .with_efficiency(zipserv_core::decomp_kernel::DECOMP_EFFICIENCY);
-        p.smem = SharedMemTraffic::conflict_free(elems / 64 * DecodeCost::TCA_TBE.lds_per_tile);
+        let decodes = DecodeCost::tile_decodes(elems / FRAG_ELEMS as u64, 1, true);
+        p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
         p.alu = ZipGemm::decode_mix(elems);
         p.grid = LaunchGrid {
             blocks: (elems / 4096).max(1),
@@ -284,5 +313,37 @@ mod tests {
     fn ratio_at_typical_coverage_matches_paper() {
         let s = typical_stats(28672, 4096);
         assert!((s.ratio() - 1.41).abs() < 0.06, "ratio {}", s.ratio());
+    }
+
+    #[test]
+    fn profile_prices_one_decode_per_tile_per_pass() {
+        // Cached decode accounting: the decode ALU work of the fused profile
+        // does not grow with the activation batch, while uncached per-use
+        // accounting would multiply it by the number of N-blocks.
+        let spec = Gpu::Rtx4090.spec();
+        let stats = typical_stats(4096, 4096);
+        let narrow = FusedZipGemm::kernel_profile(&stats, 8, &spec);
+        let wide = FusedZipGemm::kernel_profile(&stats, 512, &spec);
+        assert_eq!(narrow.alu.total(), wide.alu.total());
+        let tiles = stats.m * stats.k / 64;
+        assert_eq!(
+            DecodeCost::tile_decodes(tiles, 512u64.div_ceil(TILE_N), false),
+            tiles * 8
+        );
+    }
+
+    #[test]
+    fn launcher_paths_share_one_micro_kernel_bitwise() {
+        // All three functional delegations agree bit for bit.
+        let w = WeightGen::new(0.02).seed(71).outliers(0.03, 20.0).matrix(96, 64);
+        let x = WeightGen::new(0.5).seed(72).matrix(64, 19);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let launcher = FusedZipGemm::new();
+        let blocked = launcher.multiply(&tbe, &x);
+        assert_eq!(blocked.as_slice(), launcher.multiply_reference(&tbe, &x).as_slice());
+        assert_eq!(
+            blocked.as_slice(),
+            launcher.multiply_parallel(&tbe, &x, 3).as_slice()
+        );
     }
 }

@@ -50,5 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dense = zipserv::kernels::gemm_ref::gemm(&weights, &x);
     assert_eq!(y.as_slice(), dense.as_slice());
     println!("fused == dense   : bitwise identical");
+
+    // 6. Every functional path agrees bit for bit: the blocked hot path
+    //    above, the naive reference loop, and the multi-threaded kernel
+    //    (same micro-kernel, row strips across workers).
+    let kernel = ZipGemm::new();
+    assert_eq!(y.as_slice(), kernel.multiply_reference(&compressed, &x).as_slice());
+    assert_eq!(y.as_slice(), kernel.multiply_parallel(&compressed, &x, 4).as_slice());
+    println!("blocked == naive == parallel : bitwise identical");
     Ok(())
 }

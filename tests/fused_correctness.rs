@@ -40,6 +40,53 @@ proptest! {
     }
 
     #[test]
+    fn blocked_parallel_and_reference_agree_bitwise(
+        tm in 1usize..6,
+        tk in 1usize..5,
+        n in 0usize..34,
+        threads in 1usize..9,
+        outlier_mod in 5u64..40,
+        seed in any::<u64>(),
+    ) {
+        // The serial blocked path, the parallel blocked path (including
+        // thread counts that do not divide the tile rows) and the naive
+        // reference must agree bit for bit across random shapes — n spans
+        // zero columns through several NB micro-kernel blocks — and random
+        // coverages (outlier_mod controls the fallback-path density).
+        let (m, k) = (tm * 8, tk * 8);
+        let mut rng_state = seed | 1;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let unit = |v: u64| (v >> 40) as f32 / 16777216.0 - 0.5;
+        let w = Matrix::from_fn(m, k, |_, _| {
+            let v = next();
+            let scale = if v % outlier_mod == 0 { 300.0 } else { 0.1 };
+            Bf16::from_f32(unit(v) * scale)
+        });
+        let x = Matrix::from_fn(k, n, |_, _| Bf16::from_f32(unit(next()) * 2.0));
+
+        let tbe = TbeCompressor::new().compress(&w).expect("tileable");
+        let kernel = ZipGemm::new();
+        let blocked = kernel.multiply(&tbe, &x);
+        let reference = kernel.multiply_reference(&tbe, &x);
+        let parallel = kernel.multiply_parallel(&tbe, &x, threads);
+        prop_assert_eq!((blocked.rows(), blocked.cols()), (m, n));
+        for ((a, b), c) in blocked
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .zip(parallel.as_slice())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
     fn fused_handles_outlier_weights(weights in proptest::collection::vec(weight(100.0), 64..=64)) {
         // One 8x8 weight tile of large-magnitude values (mostly fallback
         // path), multiplied against an identity-ish activation.
