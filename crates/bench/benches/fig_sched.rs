@@ -1,0 +1,56 @@
+//! Scheduling-policy race: the four `SchedulePolicy` implementations
+//! driving the continuous-batching simulator over the paper's
+//! mixed-priority arrival mix on the ZipServ engine.
+//!
+//! The printed `figures::sched()` table records the serving-level outcomes
+//! (per-class p99 TTFT, SLO attainment, preemptions); the timed section
+//! records simulator cost per policy so scheduler-side regressions show up
+//! in `BENCH_baseline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_gpu_sim::device::Gpu;
+use zipserv_kernels::shapes::LlmModel;
+use zipserv_serve::cluster::GpuCluster;
+use zipserv_serve::engine::{EngineKind, ServingEngine};
+use zipserv_serve::policy::{Fcfs, PreemptiveSjf, Priority, SchedulePolicy, SloEdf};
+use zipserv_serve::scheduler::run_policy;
+use zipserv_serve::workload::ArrivalMix;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::sched());
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::single(Gpu::Rtx4090))
+        .build();
+    let arrivals = ArrivalMix::paper_mix().generate(10.0, 120, 29);
+    let policies: Vec<Box<dyn SchedulePolicy>> = vec![
+        Box::new(Fcfs),
+        Box::new(Priority::default()),
+        Box::new(SloEdf::default()),
+        Box::new(PreemptiveSjf::default()),
+    ];
+    let mut group = c.benchmark_group("fig_sched/paper_mix_120reqs");
+    group.sample_size(10);
+    for policy in &policies {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                run_policy(
+                    black_box(&engine),
+                    policy.as_ref(),
+                    64,
+                    arrivals.clone(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -594,9 +594,9 @@ pub fn online() -> String {
         rows.push(vec![
             kind.name().to_string(),
             f2(report.throughput_tps),
-            f2(report.latency_percentile(0.5)),
-            f2(report.latency_percentile(0.95)),
-            f2(report.mean_queue_s()),
+            f2(report.latency_percentile(0.5).expect("completions")),
+            f2(report.latency_percentile(0.95).expect("completions")),
+            f2(report.mean_queue_s().expect("completions")),
             report.peak_batch.to_string(),
         ]);
     }
@@ -604,6 +604,56 @@ pub fn online() -> String {
         "Online serving — continuous batching, Poisson arrivals (8 req/s, prompt 1024, output 256):\n{}",
         render(
             &["engine", "tok/s", "p50 lat (s)", "p95 lat (s)", "mean queue (s)", "peak batch"],
+            &rows
+        )
+    )
+}
+
+/// Scheduling-policy comparison: the four `SchedulePolicy` implementations
+/// racing on the paper's mixed-priority arrival trace (the `fig_sched`
+/// criterion bench times the same race).
+pub fn sched() -> String {
+    use zipserv_serve::policy::{Fcfs, PreemptiveSjf, Priority, PriorityClass, SloEdf};
+    use zipserv_serve::workload::ArrivalMix;
+    let arrivals = ArrivalMix::paper_mix().generate(10.0, 120, 29);
+    let policies: Vec<Box<dyn zipserv_serve::policy::SchedulePolicy>> = vec![
+        Box::new(Fcfs),
+        Box::new(Priority::default()),
+        Box::new(SloEdf::default()),
+        Box::new(PreemptiveSjf::default()),
+    ];
+    let mut rows = Vec::new();
+    for policy in &policies {
+        let engine = ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::single(Gpu::Rtx4090))
+            .policy_box(policy.clone_box())
+            .build();
+        let report = engine.serve_online(arrivals.clone());
+        let int_p99 = report
+            .class_ttft_percentile(PriorityClass::Interactive, 0.99)
+            .expect("interactive completions");
+        rows.push(vec![
+            report.policy.clone(),
+            f2(report.throughput_tps),
+            f2(int_p99),
+            f2(report.ttft_percentile(0.99).expect("completions")),
+            pct(report.slo_attainment().expect("SLO-carrying completions")),
+            report.preemptions.to_string(),
+        ]);
+    }
+    format!(
+        "Scheduling policies — ZipServ/LLaMA3.1-8B/RTX4090, paper mix (10 req/s, 120 reqs):\n{}",
+        render(
+            &[
+                "policy",
+                "tok/s",
+                "p99 TTFT int (s)",
+                "p99 TTFT all (s)",
+                "SLO att.",
+                "preempts"
+            ],
             &rows
         )
     )
@@ -712,6 +762,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("memory", memory_table),
         ("ablation", ablation),
         ("online", online),
+        ("sched", sched),
         ("kv", kv_compression),
         ("prefill", prefill_overlap),
         ("quant", quant_stack),

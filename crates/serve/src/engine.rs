@@ -17,11 +17,14 @@ use crate::kvcache::PagedKvCache;
 use crate::memory::{MemoryPlan, WeightFormat};
 use crate::metrics::{RunReport, StepBreakdown};
 use crate::parallel::{allreduce_us, block_allreduce_bytes, shard_layer};
+use crate::policy::{Fcfs, SchedulePolicy};
+use crate::scheduler::{run_policy, Request, ScheduleReport};
 use crate::workload::Workload;
 use zipserv_kernels::cublas_model::CublasTc;
 use zipserv_kernels::decoupled::BaselineCodec;
 use zipserv_kernels::fused::{FusedZipGemm, WeightStats, TYPICAL_COVERAGE};
 use zipserv_kernels::shapes::{LayerKind, LlmModel};
+use zipserv_gpu_sim::device::Gpu;
 use zipserv_gpu_sim::roofline::GemmShape;
 
 /// Compressed-weight fraction ZipServ achieves on the evaluated models.
@@ -113,35 +116,188 @@ impl core::fmt::Display for EngineKind {
     }
 }
 
-/// A model deployed on a cluster under one engine.
+/// Fluent constructor for [`ServingEngine`]: deployment axes plus the
+/// online-serving configuration (scheduling policy, batch cap) in one place.
+///
+/// ```
+/// use zipserv_serve::engine::{EngineKind, ServingEngine};
+/// use zipserv_serve::cluster::GpuCluster;
+/// use zipserv_serve::policy::SloEdf;
+/// use zipserv_gpu_sim::device::Gpu;
+/// use zipserv_kernels::shapes::LlmModel;
+///
+/// let engine = ServingEngine::builder()
+///     .kind(EngineKind::ZipServ)
+///     .model(LlmModel::Llama31_8b)
+///     .cluster(GpuCluster::single(Gpu::Rtx4090))
+///     .policy(SloEdf::default())
+///     .build();
+/// assert_eq!(engine.kind(), EngineKind::ZipServ);
+/// ```
 #[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    kind: EngineKind,
+    model: LlmModel,
+    cluster: GpuCluster,
+    policy: Box<dyn SchedulePolicy>,
+    max_batch: usize,
+}
+
+impl Default for EngineBuilder {
+    /// The paper's reference deployment: ZipServ serving LLaMA3.1-8B on a
+    /// single RTX 4090 under FCFS with a 64-sequence batch cap.
+    fn default() -> Self {
+        EngineBuilder {
+            kind: EngineKind::ZipServ,
+            model: LlmModel::Llama31_8b,
+            cluster: GpuCluster::single(Gpu::Rtx4090),
+            policy: Box::new(Fcfs),
+            max_batch: 64,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Sets the engine kind (default [`EngineKind::ZipServ`]).
+    pub fn kind(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the model (default [`LlmModel::Llama31_8b`]).
+    pub fn model(mut self, model: LlmModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the cluster (default a single RTX 4090).
+    pub fn cluster(mut self, cluster: GpuCluster) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Sets the online scheduling policy (default [`Fcfs`]).
+    pub fn policy(mut self, policy: impl SchedulePolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Sets an already-boxed scheduling policy (for policies chosen at
+    /// runtime, e.g. when iterating over a policy zoo).
+    pub fn policy_box(mut self, policy: Box<dyn SchedulePolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the hard cap on concurrent sequences (default 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batch cap must be nonzero");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Builds the engine, computing its memory plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not fit the cluster (see
+    /// [`MemoryPlan::plan`]).
+    pub fn build(self) -> ServingEngine {
+        let plan = MemoryPlan::plan(self.model, &self.cluster, self.kind.weight_format());
+        ServingEngine {
+            kind: self.kind,
+            model: self.model,
+            cluster: self.cluster,
+            plan,
+            policy: self.policy,
+            max_batch: self.max_batch,
+        }
+    }
+}
+
+/// A model deployed on a cluster under one engine.
+#[derive(Debug)]
 pub struct ServingEngine {
     kind: EngineKind,
     model: LlmModel,
     cluster: GpuCluster,
     plan: MemoryPlan,
+    policy: Box<dyn SchedulePolicy>,
+    max_batch: usize,
+}
+
+impl Clone for ServingEngine {
+    fn clone(&self) -> Self {
+        ServingEngine {
+            kind: self.kind,
+            model: self.model,
+            cluster: self.cluster,
+            plan: self.plan,
+            policy: self.policy.clone_box(),
+            max_batch: self.max_batch,
+        }
+    }
 }
 
 impl ServingEngine {
-    /// Deploys `model` on `cluster` under `kind`.
+    /// Starts a fluent [`EngineBuilder`] — the preferred constructor, and
+    /// the only way to attach a non-FCFS [`SchedulePolicy`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Deploys `model` on `cluster` under `kind` with the default FCFS
+    /// policy.
+    ///
+    /// Superseded by [`ServingEngine::builder`], which also configures the
+    /// scheduling policy and batch cap; this positional form is kept as a
+    /// thin shim for existing callers.
     ///
     /// # Panics
     ///
     /// Panics if the model does not fit the cluster (see
     /// [`MemoryPlan::plan`]).
     pub fn new(kind: EngineKind, model: LlmModel, cluster: GpuCluster) -> Self {
-        let plan = MemoryPlan::plan(model, &cluster, kind.weight_format());
-        ServingEngine {
-            kind,
-            model,
-            cluster,
-            plan,
-        }
+        ServingEngine::builder()
+            .kind(kind)
+            .model(model)
+            .cluster(cluster)
+            .build()
     }
 
     /// The engine kind.
     pub fn kind(&self) -> EngineKind {
         self.kind
+    }
+
+    /// The scheduling policy [`ServingEngine::serve_online`] runs under.
+    pub fn policy(&self) -> &dyn SchedulePolicy {
+        self.policy.as_ref()
+    }
+
+    /// The hard cap on concurrent sequences.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Runs an online arrival trace to completion under this engine's
+    /// scheduling policy — the builder-era replacement for
+    /// `ContinuousBatcher::new(&engine).run(arrivals)`.
+    pub fn serve_online(&self, arrivals: Vec<Request>) -> ScheduleReport {
+        run_policy(self, self.policy.as_ref(), self.max_batch, arrivals)
+    }
+
+    /// Time for one host-link transfer of `tokens` worth of this
+    /// deployment's per-GPU KV cache (PCIe 4.0 x16, ~32 GB/s sustained), in
+    /// seconds. Page-out preemption pays this twice: once out, once back.
+    pub fn kv_swap_s(&self, tokens: u64) -> f64 {
+        const PCIE_BYTES_PER_S: f64 = 32.0e9;
+        let bytes = tokens * self.model.dims().kv_bytes_per_token() / self.cluster.tp() as u64;
+        bytes as f64 / PCIE_BYTES_PER_S
     }
 
     /// The memory plan (Figure 17's right panel).
@@ -517,6 +673,52 @@ mod tests {
     #[should_panic(expected = "requires the ZipServ engine")]
     fn overlapped_prefill_rejects_other_engines() {
         let _ = llama8b(EngineKind::Vllm).prefill_ms_overlapped(8, 512);
+    }
+
+    #[test]
+    fn builder_defaults_match_positional_constructor() {
+        let built = ServingEngine::builder().build();
+        let legacy = llama8b(EngineKind::ZipServ);
+        assert_eq!(built.kind(), legacy.kind());
+        assert_eq!(built.kv_capacity_tokens(), legacy.kv_capacity_tokens());
+        assert_eq!(built.policy().name(), "fcfs");
+        assert_eq!(built.max_batch(), 64);
+    }
+
+    #[test]
+    fn builder_configures_policy_and_batch_cap() {
+        use crate::policy::SloEdf;
+        use crate::scheduler::poisson_arrivals;
+        let engine = ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::single(Gpu::Rtx4090))
+            .policy(SloEdf::default())
+            .max_batch(8)
+            .build();
+        assert_eq!(engine.policy().name(), "slo-edf");
+        let report = engine.serve_online(poisson_arrivals(6.0, 24, 256, 32, 5));
+        assert_eq!(report.completions.len(), 24);
+        assert_eq!(report.policy, "slo-edf");
+        assert!(report.peak_batch <= 8, "cap respected: {}", report.peak_batch);
+    }
+
+    #[test]
+    fn cloned_engine_keeps_its_policy() {
+        use crate::policy::PreemptiveSjf;
+        let engine = ServingEngine::builder().policy(PreemptiveSjf::default()).build();
+        let clone = engine.clone();
+        assert_eq!(clone.policy().name(), engine.policy().name());
+        assert_eq!(clone.kv_capacity_tokens(), engine.kv_capacity_tokens());
+    }
+
+    #[test]
+    fn kv_swap_scales_with_tokens() {
+        let eng = llama8b(EngineKind::ZipServ);
+        let one = eng.kv_swap_s(1024);
+        let four = eng.kv_swap_s(4096);
+        assert!(one > 0.0);
+        assert!((four / one - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   DFloat11-like decoupled-decompression engine;
 //! * [`scheduler`] — online continuous batching over Poisson arrivals with
 //!   KV-capacity admission control and latency percentiles;
+//! * [`policy`] — pluggable [`SchedulePolicy`] admission/preemption
+//!   policies: FCFS, priority tiers with aging, SLO-deadline EDF, and
+//!   preemptive shortest-job-first;
 //! * [`transformer`] — a functional miniature transformer that runs with
 //!   dense or TCA-TBE-compressed weights and proves bit-exact generation;
 //! * [`workload`] — request/batch generators;
@@ -27,10 +30,15 @@ pub mod kvcache;
 pub mod memory;
 pub mod metrics;
 pub mod parallel;
+pub mod policy;
 pub mod scheduler;
 pub mod transformer;
 pub mod workload;
 
 pub use cluster::GpuCluster;
-pub use engine::{EngineKind, ServingEngine};
-pub use workload::Workload;
+pub use engine::{EngineBuilder, EngineKind, ServingEngine};
+pub use policy::{
+    Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,
+};
+pub use scheduler::{Request, ScheduleReport};
+pub use workload::{ArrivalMix, TrafficClass, Workload};

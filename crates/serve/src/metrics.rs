@@ -1,7 +1,91 @@
-//! Serving metrics: the latency/throughput reports of Figure 16 and the
-//! per-step breakdown of Figure 17.
+//! Serving metrics: the latency/throughput reports of Figure 16, the
+//! per-step breakdown of Figure 17, and the per-class scheduling summaries
+//! behind [`crate::scheduler::ScheduleReport`].
 
+use crate::policy::PriorityClass;
+use crate::scheduler::Completion;
 use serde::Serialize;
+
+/// Percentile (`q` in `[0, 1]`) of a finite sample, nearest-rank on the
+/// sorted values. Returns `None` for an empty sample instead of panicking —
+/// the scheduler's report methods all route through here.
+///
+/// # Panics
+///
+/// Panics if `q` is out of range or a value is not finite.
+pub fn percentile(values: impl IntoIterator<Item = f64>, q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "percentile in [0,1]");
+    let mut v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    Some(v[idx])
+}
+
+/// Fraction of SLO-carrying completions that met their SLO, or `None` when
+/// none carried one — the single definition behind both the aggregate
+/// [`ScheduleReport::slo_attainment`](crate::scheduler::ScheduleReport::slo_attainment)
+/// and the per-class [`ClassStats`] figure.
+pub fn slo_attainment<'a>(
+    completions: impl IntoIterator<Item = &'a Completion>,
+) -> Option<f64> {
+    let judged: Vec<bool> = completions.into_iter().filter_map(|c| c.slo_met).collect();
+    if judged.is_empty() {
+        return None;
+    }
+    Some(judged.iter().filter(|&&m| m).count() as f64 / judged.len() as f64)
+}
+
+/// Scheduling outcomes for one priority class within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClassStats {
+    /// The priority class summarized.
+    pub class: PriorityClass,
+    /// Completions in this class.
+    pub count: usize,
+    /// Median end-to-end latency (s).
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end latency (s).
+    pub p99_latency_s: f64,
+    /// Median time-to-first-token (s).
+    pub p50_ttft_s: f64,
+    /// 99th-percentile time-to-first-token (s).
+    pub p99_ttft_s: f64,
+    /// Mean queueing delay before first admission (s).
+    pub mean_queue_s: f64,
+    /// Total preemptions suffered by this class.
+    pub preemptions: u64,
+    /// SLO attainment within the class (`None` if no request carried one).
+    pub slo_attainment: Option<f64>,
+}
+
+impl ClassStats {
+    /// Summarizes the completions of one class; `None` when empty.
+    pub fn from_completions<'a>(
+        class: PriorityClass,
+        completions: impl IntoIterator<Item = &'a Completion>,
+    ) -> Option<ClassStats> {
+        let cs: Vec<&Completion> = completions.into_iter().collect();
+        if cs.is_empty() {
+            return None;
+        }
+        let lat = |q| percentile(cs.iter().map(|c| c.latency_s), q).expect("non-empty");
+        let ttft = |q| percentile(cs.iter().map(|c| c.ttft_s), q).expect("non-empty");
+        Some(ClassStats {
+            class,
+            count: cs.len(),
+            p50_latency_s: lat(0.5),
+            p99_latency_s: lat(0.99),
+            p50_ttft_s: ttft(0.5),
+            p99_ttft_s: ttft(0.99),
+            mean_queue_s: cs.iter().map(|c| c.queue_s).sum::<f64>() / cs.len() as f64,
+            preemptions: cs.iter().map(|c| c.preemptions as u64).sum(),
+            slo_attainment: slo_attainment(cs.iter().copied()),
+        })
+    }
+}
 
 /// One decode step's time breakdown in milliseconds (Figure 17, left).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]

@@ -6,11 +6,27 @@
 //! discrete decode-step time, with KV-capacity admission control — which is
 //! exactly where ZipServ's freed weight memory turns into admission
 //! headroom and lower queueing delay.
+//!
+//! Admission order and preemption are delegated to a pluggable
+//! [`SchedulePolicy`](crate::policy::SchedulePolicy); see [`crate::policy`]
+//! for the four in-tree policies and
+//! [`ServingEngine::builder`](crate::engine::ServingEngine::builder) for the
+//! fluent way to wire one up.
 
 use crate::engine::ServingEngine;
-use std::collections::VecDeque;
+use crate::metrics::{percentile, ClassStats};
+use crate::policy::{
+    Fcfs, PreemptionMode, PriorityClass, QueuedRequest, RunningRequest, SchedulePolicy, Slo,
+};
+use std::collections::{HashMap, VecDeque};
+
+pub use crate::policy::MAX_PREEMPTIONS;
 
 /// One serving request.
+///
+/// Construct with [`Request::new`] and layer on QoS with the builder-style
+/// [`Request::with_priority`] / [`Request::with_slo`]; the defaults
+/// ([`PriorityClass::Standard`], no SLO) reproduce pre-policy behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Request id.
@@ -21,6 +37,36 @@ pub struct Request {
     pub prompt_len: u64,
     /// Output tokens to generate.
     pub output_len: u64,
+    /// Priority tier (default [`PriorityClass::Standard`]).
+    pub priority: PriorityClass,
+    /// Optional latency SLO this request is judged against.
+    pub slo: Option<Slo>,
+}
+
+impl Request {
+    /// Creates a request with default QoS (standard priority, no SLO).
+    pub fn new(id: u64, arrival_s: f64, prompt_len: u64, output_len: u64) -> Self {
+        Request {
+            id,
+            arrival_s,
+            prompt_len,
+            output_len,
+            priority: PriorityClass::Standard,
+            slo: None,
+        }
+    }
+
+    /// Sets the priority tier (builder style).
+    pub fn with_priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a latency SLO (builder style).
+    pub fn with_slo(mut self, slo: Slo) -> Self {
+        self.slo = Some(slo);
+        self
+    }
 }
 
 /// Per-request completion record.
@@ -28,10 +74,18 @@ pub struct Request {
 pub struct Completion {
     /// Request id.
     pub id: u64,
-    /// Time spent queued before admission (s).
+    /// Priority tier the request ran under.
+    pub priority: PriorityClass,
+    /// Time spent queued before first admission (s).
     pub queue_s: f64,
     /// End-to-end latency from arrival to last token (s).
     pub latency_s: f64,
+    /// Time from arrival to the first generated token (s).
+    pub ttft_s: f64,
+    /// How many times the request was preempted.
+    pub preemptions: u32,
+    /// Whether the request's SLO was met (`None` if it carried no SLO).
+    pub slo_met: Option<bool>,
 }
 
 /// Aggregate results of one simulated serving run.
@@ -45,34 +99,122 @@ pub struct ScheduleReport {
     pub throughput_tps: f64,
     /// Peak concurrent batch size observed.
     pub peak_batch: usize,
+    /// Total preemptions across the run.
+    pub preemptions: u64,
+    /// Ids of requests rejected outright because they can never fit the
+    /// deployment's KV capacity even alone.
+    pub rejected: Vec<u64>,
+    /// Name of the policy that produced this report.
+    pub policy: String,
 }
 
 impl ScheduleReport {
-    /// Latency percentile (`q` in `[0, 1]`).
+    /// End-to-end latency percentile (`q` in `[0, 1]`), or `None` when the
+    /// run produced no completions.
     ///
     /// # Panics
     ///
-    /// Panics if there are no completions or `q` is out of range.
-    pub fn latency_percentile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "percentile in [0,1]");
-        assert!(!self.completions.is_empty(), "no completions");
-        let mut lat: Vec<f64> = self.completions.iter().map(|c| c.latency_s).collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let idx = ((lat.len() - 1) as f64 * q).round() as usize;
-        lat[idx]
+    /// Panics if `q` is out of range.
+    pub fn latency_percentile(&self, q: f64) -> Option<f64> {
+        percentile(self.completions.iter().map(|c| c.latency_s), q)
     }
 
-    /// Mean queueing delay before admission.
-    pub fn mean_queue_s(&self) -> f64 {
+    /// Time-to-first-token percentile (`q` in `[0, 1]`), or `None` when the
+    /// run produced no completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn ttft_percentile(&self, q: f64) -> Option<f64> {
+        percentile(self.completions.iter().map(|c| c.ttft_s), q)
+    }
+
+    /// Latency percentile restricted to one priority class, or `None` when
+    /// that class has no completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn class_latency_percentile(&self, class: PriorityClass, q: f64) -> Option<f64> {
+        percentile(
+            self.completions
+                .iter()
+                .filter(|c| c.priority == class)
+                .map(|c| c.latency_s),
+            q,
+        )
+    }
+
+    /// TTFT percentile restricted to one priority class, or `None` when
+    /// that class has no completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn class_ttft_percentile(&self, class: PriorityClass, q: f64) -> Option<f64> {
+        percentile(
+            self.completions
+                .iter()
+                .filter(|c| c.priority == class)
+                .map(|c| c.ttft_s),
+            q,
+        )
+    }
+
+    /// Mean queueing delay before first admission, or `None` when the run
+    /// produced no completions.
+    pub fn mean_queue_s(&self) -> Option<f64> {
         if self.completions.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.completions.iter().map(|c| c.queue_s).sum::<f64>() / self.completions.len() as f64
+        Some(self.completions.iter().map(|c| c.queue_s).sum::<f64>() / self.completions.len() as f64)
+    }
+
+    /// Fraction of SLO-carrying completions that met their SLO, or `None`
+    /// when no completion carried an SLO.
+    pub fn slo_attainment(&self) -> Option<f64> {
+        crate::metrics::slo_attainment(&self.completions)
+    }
+
+    /// Per-class summary for one priority tier, or `None` when that class
+    /// has no completions.
+    pub fn class_stats(&self, class: PriorityClass) -> Option<ClassStats> {
+        ClassStats::from_completions(
+            class,
+            self.completions.iter().filter(|c| c.priority == class),
+        )
+    }
+
+    /// Summaries for every priority class that completed at least one
+    /// request, least to most urgent.
+    pub fn per_class(&self) -> Vec<ClassStats> {
+        PriorityClass::ALL
+            .iter()
+            .filter_map(|&class| self.class_stats(class))
+            .collect()
+    }
+}
+
+/// Deterministic xorshift64 uniform stream on `(0, 1)`, shared by every
+/// arrival generator so their documented equivalence cannot drift.
+pub(crate) struct UniformStream(u64);
+
+impl UniformStream {
+    pub(crate) fn new(seed: u64) -> Self {
+        UniformStream(seed | 1)
+    }
+
+    pub(crate) fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        ((self.0 >> 11) as f64 / (1u64 << 53) as f64).max(1e-12)
     }
 }
 
 /// Deterministic Poisson-process arrival generator (xorshift-based, no
-/// external RNG needed).
+/// external RNG needed). Every request gets default QoS; use
+/// [`crate::workload::ArrivalMix`] for mixed-priority/SLO traffic.
 pub fn poisson_arrivals(
     rate_per_s: f64,
     count: usize,
@@ -81,36 +223,275 @@ pub fn poisson_arrivals(
     seed: u64,
 ) -> Vec<Request> {
     assert!(rate_per_s > 0.0, "rate must be positive");
-    let mut state = seed | 1;
-    let mut uniform = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12)
-    };
+    let mut uniform = UniformStream::new(seed);
     let mut t = 0.0;
     (0..count)
         .map(|id| {
-            t += -uniform().ln() / rate_per_s; // exponential inter-arrival
-            Request {
-                id: id as u64,
-                arrival_s: t,
-                prompt_len,
-                output_len,
-            }
+            t += -uniform.next().ln() / rate_per_s; // exponential inter-arrival
+            Request::new(id as u64, t, prompt_len, output_len)
         })
         .collect()
 }
 
-/// A request in flight.
+/// Builds the final report shared by the generic and reference loops.
+fn finish_report(
+    policy: &str,
+    now: f64,
+    output_tokens: u64,
+    peak_batch: usize,
+    preemptions: u64,
+    rejected: Vec<u64>,
+    completions: Vec<Completion>,
+) -> ScheduleReport {
+    ScheduleReport {
+        duration_s: now,
+        throughput_tps: if now > 0.0 {
+            output_tokens as f64 / now
+        } else {
+            0.0
+        },
+        peak_batch,
+        preemptions,
+        rejected,
+        policy: policy.to_string(),
+        completions,
+    }
+}
+
+/// Turns a finished in-flight record into a completion at time `now`.
+fn complete(f: &RunningRequest, now: f64) -> Completion {
+    let first_token = f.first_token_s.expect("completed request produced a token");
+    let ttft_s = first_token - f.req.arrival_s;
+    Completion {
+        id: f.req.id,
+        priority: f.req.priority,
+        queue_s: f.first_admitted_s - f.req.arrival_s,
+        latency_s: now - f.req.arrival_s,
+        ttft_s,
+        preemptions: f.preemptions,
+        slo_met: f.req.slo.map(|slo| {
+            let decode_budget = slo.tpot_s * f.req.output_len.saturating_sub(1) as f64;
+            ttft_s <= slo.ttft_s && (now - first_token) <= decode_budget
+        }),
+    }
+}
+
+/// Runs an arrival trace to completion under an arbitrary policy.
+///
+/// This is the policy-generic continuous-batching loop:
+///
+/// 1. **Admission** — while capacity and the batch cap allow, the policy
+///    picks the next arrived request; a pick that does not fit may evict
+///    policy-chosen victims (each request at most [`MAX_PREEMPTIONS`]
+///    times). Fresh admissions pay their prefill; re-admissions pay a
+///    recompute prefill over `prompt + generated` tokens or a PCIe
+///    page-in/out round trip, per the policy's
+///    [`PreemptionMode`](crate::policy::PreemptionMode).
+/// 2. **Decode** — one step for the whole batch, costed by the engine's
+///    analytic model (cached per `(batch, context-bucket)`).
+/// 3. **Retire** — finished requests leave the batch and record latency,
+///    TTFT, queueing delay, preemption count and SLO verdict.
+///
+/// A request whose KV demand exceeds the deployment's capacity even as the
+/// sole occupant is reported in [`ScheduleReport::rejected`] rather than
+/// looping forever.
+///
+/// Under [`Fcfs`] this loop is bit-compatible with the legacy
+/// [`ContinuousBatcher::run_reference`] on arrival-sorted traces (verified
+/// by proptest in the `schedule_policies` suite).
+pub fn run_policy(
+    engine: &ServingEngine,
+    policy: &dyn SchedulePolicy,
+    max_batch: usize,
+    mut arrivals: Vec<Request>,
+) -> ScheduleReport {
+    arrivals.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
+    let capacity = engine.kv_capacity_tokens();
+    let mut pending: Vec<QueuedRequest> = arrivals.into_iter().map(QueuedRequest::fresh).collect();
+    let mut running: Vec<RunningRequest> = Vec::new();
+    let mut completions = Vec::new();
+    let mut rejected = Vec::new();
+    let mut now = 0.0f64;
+    let mut peak_batch = 0usize;
+    let mut output_tokens = 0u64;
+    let mut preemptions = 0u64;
+    let mut step_cache: HashMap<(u64, u64), f64> = HashMap::new();
+
+    // Worst-case KV demand if `cand` joins the current batch (same
+    // whole-lifetime accounting as the legacy loop).
+    fn kv_demand(running: &[RunningRequest], cand: &QueuedRequest) -> u64 {
+        running
+            .iter()
+            .map(|f| f.req.prompt_len + f.req.output_len)
+            .sum::<u64>()
+            + cand.req.prompt_len
+            + cand.req.output_len
+    }
+
+    while !pending.is_empty() || !running.is_empty() {
+        // Admission phase.
+        'admit: while !pending.is_empty() {
+            if pending[0].req.arrival_s > now && running.is_empty() {
+                // Idle: jump to the next arrival.
+                now = pending[0].req.arrival_s;
+            }
+            let arrived = pending.partition_point(|p| p.req.arrival_s <= now);
+            if arrived == 0 || running.len() >= max_batch {
+                break;
+            }
+            let Some(pick) = policy.select(&pending[..arrived], &running, now) else {
+                if running.is_empty() {
+                    // The engine is idle and the policy holds admission:
+                    // jump to the next arrival so the hold can end, rather
+                    // than spinning with time frozen. A policy that holds
+                    // an idle engine with no future arrival left would hang
+                    // the simulation — fail loudly instead.
+                    if let Some(next) = pending.iter().find(|p| p.req.arrival_s > now) {
+                        now = next.req.arrival_s;
+                        continue 'admit;
+                    }
+                    panic!(
+                        "policy {} held admission on an idle engine with no future arrivals",
+                        policy.name()
+                    );
+                }
+                break;
+            };
+            assert!(pick < arrived, "policy selected an unarrived request");
+            let cand = pending[pick];
+
+            // A request whose lifetime KV demand exceeds capacity can never
+            // run: reject it up front, before it evicts innocent victims.
+            if cand.req.prompt_len + cand.req.output_len > capacity {
+                rejected.push(cand.req.id);
+                pending.remove(pick);
+                continue 'admit;
+            }
+
+            // Preempt victims until the candidate fits or the policy (or
+            // the per-request cap, as a backstop for custom policies that
+            // name a pinned victim) refuses. Each eviction re-inserts the
+            // victim into `pending` by arrival, so the candidate's index is
+            // tracked through the insertions rather than re-located.
+            let mut cand_idx = pick;
+            let mut evictions_left = running.len();
+            while kv_demand(&running, &cand) > capacity && evictions_left > 0 {
+                let Some(vi) = policy.victim(&cand, &running, now) else {
+                    break;
+                };
+                if running[vi].preemptions >= MAX_PREEMPTIONS {
+                    break;
+                }
+                let victim = running.remove(vi);
+                preemptions += 1;
+                let back = QueuedRequest {
+                    req: victim.req,
+                    resume_generated: victim.generated,
+                    preemptions: victim.preemptions + 1,
+                    first_admitted_s: Some(victim.first_admitted_s),
+                    first_token_s: victim.first_token_s,
+                };
+                let pos = pending.partition_point(|p| p.req.arrival_s <= back.req.arrival_s);
+                pending.insert(pos, back);
+                if pos <= cand_idx {
+                    cand_idx += 1;
+                }
+                evictions_left -= 1;
+            }
+
+            if kv_demand(&running, &cand) > capacity {
+                // The candidate fits an empty batch (oversized requests were
+                // rejected above), so this hold always ends as completions
+                // or further preemptions free KV.
+                break 'admit;
+            }
+
+            // Admit: fresh requests pay prefill; resumed requests pay the
+            // policy's preferred KV recovery.
+            debug_assert_eq!(pending[cand_idx], cand, "candidate index tracked");
+            let q = pending.remove(cand_idx);
+            now += if q.resume_generated == 0 {
+                engine.prefill_ms(1, q.req.prompt_len) / 1e3
+            } else {
+                match policy.preemption_mode() {
+                    PreemptionMode::Recompute => {
+                        engine.prefill_ms(1, q.kv_tokens_on_admit()) / 1e3
+                    }
+                    PreemptionMode::PageOut => 2.0 * engine.kv_swap_s(q.kv_tokens_on_admit()),
+                }
+            };
+            running.push(RunningRequest {
+                req: q.req,
+                admitted_s: now,
+                generated: q.resume_generated,
+                preemptions: q.preemptions,
+                first_admitted_s: q.first_admitted_s.unwrap_or(now),
+                first_token_s: q.first_token_s,
+            });
+        }
+        peak_batch = peak_batch.max(running.len());
+        if running.is_empty() {
+            continue;
+        }
+
+        // One decode step for the whole batch.
+        let batch = running.len() as u64;
+        let mean_context: u64 = running
+            .iter()
+            .map(|f| f.req.prompt_len + f.generated)
+            .sum::<u64>()
+            / batch;
+        let bucket = (mean_context / 256).max(1) * 256;
+        let ms = *step_cache
+            .entry((batch, bucket))
+            .or_insert_with(|| engine.decode_step(batch, bucket).total_ms());
+        now += ms / 1e3;
+        output_tokens += batch;
+
+        // Advance and retire.
+        for f in running.iter_mut() {
+            f.generated += 1;
+            if f.first_token_s.is_none() {
+                f.first_token_s = Some(now);
+            }
+        }
+        running.retain(|f| {
+            if f.generated >= f.req.output_len {
+                completions.push(complete(f, now));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    finish_report(
+        policy.name(),
+        now,
+        output_tokens,
+        peak_batch,
+        preemptions,
+        rejected,
+        completions,
+    )
+}
+
+/// A request in flight (legacy reference loop only).
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     req: Request,
     admitted_s: f64,
     generated: u64,
+    first_token_s: Option<f64>,
 }
 
-/// The continuous-batching simulator.
+/// The original FCFS continuous-batching simulator, kept as a thin shim.
+///
+/// Prefer the builder path: `ServingEngine::builder().policy(Fcfs).build()`
+/// then [`ServingEngine::serve_online`](crate::engine::ServingEngine::serve_online)
+/// — it accepts any [`SchedulePolicy`] and carries the batch cap with the
+/// engine. [`ContinuousBatcher::run`] delegates there with [`Fcfs`], so
+/// downstream code keeps compiling unchanged.
 #[derive(Debug)]
 pub struct ContinuousBatcher<'a> {
     engine: &'a ServingEngine,
@@ -120,6 +501,9 @@ pub struct ContinuousBatcher<'a> {
 
 impl<'a> ContinuousBatcher<'a> {
     /// Creates a batcher over an engine deployment.
+    ///
+    /// Superseded by [`ServingEngine::builder`](crate::engine::ServingEngine::builder),
+    /// which folds the batcher's configuration into the engine itself.
     pub fn new(engine: &'a ServingEngine) -> Self {
         ContinuousBatcher {
             engine,
@@ -127,12 +511,20 @@ impl<'a> ContinuousBatcher<'a> {
         }
     }
 
-    /// Runs the arrival trace to completion.
+    /// Runs the arrival trace to completion under FCFS.
     ///
-    /// Admission control: a request joins only if the whole batch's peak KV
-    /// demand stays within capacity. Each admitted request first pays its
-    /// prefill, then generates one token per decode step.
-    pub fn run(&self, mut arrivals: Vec<Request>) -> ScheduleReport {
+    /// Delegates to the policy-generic [`run_policy`] loop with [`Fcfs`];
+    /// bit-compatibility with the pre-trait implementation is pinned by
+    /// [`ContinuousBatcher::run_reference`] and the `schedule_policies`
+    /// proptest suite.
+    pub fn run(&self, arrivals: Vec<Request>) -> ScheduleReport {
+        run_policy(self.engine, &Fcfs, self.max_batch, arrivals)
+    }
+
+    /// The frozen pre-trait FCFS loop, kept verbatim as the regression
+    /// oracle for [`run_policy`]'s bit-compatibility proptest. Not for new
+    /// code — use [`ContinuousBatcher::run`] or the builder path.
+    pub fn run_reference(&self, mut arrivals: Vec<Request>) -> ScheduleReport {
         arrivals.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
         let capacity = self.engine.kv_capacity_tokens();
         let mut queue: VecDeque<Request> = arrivals.iter().copied().collect();
@@ -143,8 +535,7 @@ impl<'a> ContinuousBatcher<'a> {
         let mut output_tokens = 0u64;
 
         // Cache step times: keyed by (batch, context bucket).
-        let mut step_cache: std::collections::HashMap<(u64, u64), f64> =
-            std::collections::HashMap::new();
+        let mut step_cache: HashMap<(u64, u64), f64> = HashMap::new();
 
         while !queue.is_empty() || !running.is_empty() {
             // Admit while capacity and the batch cap allow.
@@ -171,6 +562,7 @@ impl<'a> ContinuousBatcher<'a> {
                     req,
                     admitted_s: now,
                     generated: 0,
+                    first_token_s: None,
                 });
             }
             peak_batch = peak_batch.max(running.len());
@@ -195,14 +587,21 @@ impl<'a> ContinuousBatcher<'a> {
             // Advance and retire.
             for f in running.iter_mut() {
                 f.generated += 1;
+                if f.first_token_s.is_none() {
+                    f.first_token_s = Some(now);
+                }
             }
             running.retain(|f| {
                 if f.generated >= f.req.output_len {
-                    completions.push(Completion {
-                        id: f.req.id,
-                        queue_s: f.admitted_s - f.req.arrival_s,
-                        latency_s: now - f.req.arrival_s,
-                    });
+                    let view = RunningRequest {
+                        req: f.req,
+                        admitted_s: f.admitted_s,
+                        generated: f.generated,
+                        preemptions: 0,
+                        first_admitted_s: f.admitted_s,
+                        first_token_s: f.first_token_s,
+                    };
+                    completions.push(complete(&view, now));
                     false
                 } else {
                     true
@@ -210,16 +609,15 @@ impl<'a> ContinuousBatcher<'a> {
             });
         }
 
-        ScheduleReport {
-            duration_s: now,
-            throughput_tps: if now > 0.0 {
-                output_tokens as f64 / now
-            } else {
-                0.0
-            },
+        finish_report(
+            Fcfs.name(),
+            now,
+            output_tokens,
             peak_batch,
+            0,
+            Vec::new(),
             completions,
-        }
+        )
     }
 }
 
@@ -228,6 +626,7 @@ mod tests {
     use super::*;
     use crate::cluster::GpuCluster;
     use crate::engine::EngineKind;
+    use crate::policy::{PreemptiveSjf, Priority, SloEdf};
     use zipserv_gpu_sim::device::Gpu;
     use zipserv_kernels::shapes::LlmModel;
 
@@ -255,16 +654,40 @@ mod tests {
         assert_eq!(report.completions.len(), 40);
         assert!(report.peak_batch >= 2, "batching should occur");
         assert!(report.throughput_tps > 0.0);
+        assert_eq!(report.policy, "fcfs");
+        assert_eq!(report.preemptions, 0);
+        assert!(report.rejected.is_empty());
     }
 
     #[test]
     fn percentiles_are_ordered() {
         let zip = engine(EngineKind::ZipServ);
         let report = ContinuousBatcher::new(&zip).run(poisson_arrivals(6.0, 60, 128, 32, 5));
-        let p50 = report.latency_percentile(0.5);
-        let p95 = report.latency_percentile(0.95);
+        let p50 = report.latency_percentile(0.5).expect("has completions");
+        let p95 = report.latency_percentile(0.95).expect("has completions");
         assert!(p50 <= p95);
         assert!(p50 > 0.0);
+        let t50 = report.ttft_percentile(0.5).expect("has completions");
+        assert!(t50 <= p50, "first token no later than last");
+    }
+
+    #[test]
+    fn empty_report_yields_none_not_panic() {
+        let report = finish_report("fcfs", 0.0, 0, 0, 0, Vec::new(), Vec::new());
+        assert_eq!(report.latency_percentile(0.99), None);
+        assert_eq!(report.ttft_percentile(0.5), None);
+        assert_eq!(report.mean_queue_s(), None);
+        assert_eq!(report.slo_attainment(), None);
+        assert_eq!(report.class_latency_percentile(PriorityClass::Batch, 0.5), None);
+        assert!(report.per_class().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile in [0,1]")]
+    fn out_of_range_percentile_still_panics() {
+        let zip = engine(EngineKind::ZipServ);
+        let report = ContinuousBatcher::new(&zip).run(poisson_arrivals(4.0, 5, 64, 8, 3));
+        let _ = report.latency_percentile(1.5);
     }
 
     #[test]
@@ -282,13 +705,101 @@ mod tests {
             rz.throughput_tps,
             rv.throughput_tps
         );
-        assert!(rz.latency_percentile(0.95) < rv.latency_percentile(0.95));
+        assert!(
+            rz.latency_percentile(0.95).expect("completions")
+                < rv.latency_percentile(0.95).expect("completions")
+        );
     }
 
     #[test]
     fn light_load_has_no_queueing() {
         let zip = engine(EngineKind::ZipServ);
         let report = ContinuousBatcher::new(&zip).run(poisson_arrivals(0.05, 5, 64, 16, 2));
-        assert!(report.mean_queue_s() < 0.2, "queue {}", report.mean_queue_s());
+        let q = report.mean_queue_s().expect("completions");
+        assert!(q < 0.2, "queue {q}");
+    }
+
+    #[test]
+    fn run_matches_reference_on_a_smoke_trace() {
+        // The full randomized bit-compat check lives in the
+        // `schedule_policies` integration suite; this is the fast smoke.
+        let zip = engine(EngineKind::ZipServ);
+        let batcher = ContinuousBatcher::new(&zip);
+        let arrivals = poisson_arrivals(6.0, 30, 512, 64, 13);
+        assert_eq!(batcher.run(arrivals.clone()), batcher.run_reference(arrivals));
+    }
+
+    #[test]
+    fn run_matches_reference_on_tied_arrivals() {
+        // Equal arrival times with out-of-order ids: both loops must keep
+        // the stable submission order (legacy sorts stably; Fcfs picks the
+        // queue head), so reports match even on ties.
+        let zip = engine(EngineKind::ZipServ);
+        let batcher = ContinuousBatcher::new(&zip);
+        let arrivals = vec![
+            Request::new(5, 1.0, 256, 16),
+            Request::new(2, 1.0, 128, 32),
+            Request::new(9, 0.5, 64, 8),
+            Request::new(1, 1.0, 512, 24),
+        ];
+        assert_eq!(batcher.run(arrivals.clone()), batcher.run_reference(arrivals));
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_looped() {
+        let zip = engine(EngineKind::ZipServ);
+        let capacity = zip.kv_capacity_tokens();
+        let mut arrivals = poisson_arrivals(4.0, 5, 64, 8, 3);
+        arrivals.push(Request::new(99, 0.5, capacity + 1, 1));
+        let report = run_policy(&zip, &Fcfs, 64, arrivals);
+        assert_eq!(report.rejected, vec![99]);
+        assert_eq!(report.completions.len(), 5);
+    }
+
+    #[test]
+    fn oversized_request_never_evicts_victims() {
+        // Under a preemptive policy, a request that can never fit must be
+        // rejected up front instead of draining the running batch first.
+        let zip = engine(EngineKind::ZipServ);
+        let capacity = zip.kv_capacity_tokens();
+        let mut arrivals = poisson_arrivals(4.0, 8, 512, 256, 7);
+        // output_len 1 makes it the shortest job, so SJF selects it eagerly.
+        arrivals.push(Request::new(99, 0.5, capacity + 1, 1));
+        let report = run_policy(&zip, &PreemptiveSjf::default(), 64, arrivals);
+        assert_eq!(report.rejected, vec![99]);
+        assert_eq!(report.completions.len(), 8);
+        assert_eq!(report.preemptions, 0, "no victims for a hopeless candidate");
+    }
+
+    #[test]
+    fn all_policies_complete_every_request() {
+        let zip = engine(EngineKind::ZipServ);
+        let arrivals: Vec<Request> = poisson_arrivals(8.0, 40, 512, 64, 21)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let class = PriorityClass::ALL[i % 3];
+                r.with_priority(class).with_slo(Slo::new(4.0, 0.25))
+            })
+            .collect();
+        let policies: Vec<Box<dyn SchedulePolicy>> = vec![
+            Box::new(Fcfs),
+            Box::new(Priority::default()),
+            Box::new(SloEdf::default()),
+            Box::new(PreemptiveSjf::default()),
+            Box::new(PreemptiveSjf { mode: PreemptionMode::PageOut }),
+        ];
+        for p in &policies {
+            let report = run_policy(&zip, p.as_ref(), 64, arrivals.clone());
+            assert_eq!(report.completions.len(), 40, "{}", p.name());
+            assert!(report.rejected.is_empty(), "{}", p.name());
+            assert!(report.slo_attainment().is_some(), "{}", p.name());
+            // Every completion accounts its preemptions within the cap + 1
+            // final admission.
+            for c in &report.completions {
+                assert!(c.preemptions <= MAX_PREEMPTIONS, "{}", p.name());
+                assert!(c.ttft_s > 0.0 && c.ttft_s <= c.latency_s, "{}", p.name());
+            }
+        }
     }
 }

@@ -1,5 +1,9 @@
-//! Serving workloads: static batches of generation requests (§6.5 setup).
+//! Serving workloads: static batches of generation requests (§6.5 setup)
+//! and mixed-priority online arrival generators for the scheduling-policy
+//! experiments.
 
+use crate::policy::{PriorityClass, Slo};
+use crate::scheduler::Request;
 use serde::{Deserialize, Serialize};
 
 /// One batch workload: `batch` requests with a shared prompt and output
@@ -60,6 +64,112 @@ impl Workload {
     }
 }
 
+/// One class of traffic within an [`ArrivalMix`]: a sampling weight plus
+/// the request shape and QoS every request of the class carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficClass {
+    /// Relative sampling weight (normalized over the mix).
+    pub share: f64,
+    /// Prompt tokens per request.
+    pub prompt_len: u64,
+    /// Output tokens per request.
+    pub output_len: u64,
+    /// Priority tier.
+    pub priority: PriorityClass,
+    /// Latency SLO, if the class has one.
+    pub slo: Option<Slo>,
+}
+
+/// A mixed-priority online workload: Poisson arrivals whose class (shape,
+/// priority, SLO) is sampled per request — the traffic model the
+/// scheduling-policy comparisons (`fig_sched` bench, burst scenarios) run
+/// on, where [`crate::policy`]'s non-FCFS policies differentiate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalMix {
+    /// The classes requests are drawn from.
+    pub classes: Vec<TrafficClass>,
+}
+
+impl ArrivalMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or any share is not strictly positive.
+    pub fn new(classes: Vec<TrafficClass>) -> Self {
+        assert!(!classes.is_empty(), "mix needs at least one class");
+        assert!(
+            classes.iter().all(|c| c.share > 0.0),
+            "class shares must be positive"
+        );
+        ArrivalMix { classes }
+    }
+
+    /// The paper-style serving mix used by the policy experiments:
+    /// 50% interactive chat (512/128, tight TTFT), 30% standard API
+    /// traffic (1024/256, relaxed SLO), 20% batch summarization
+    /// (2048/512, no SLO).
+    pub fn paper_mix() -> Self {
+        ArrivalMix::new(vec![
+            TrafficClass {
+                share: 0.5,
+                prompt_len: 512,
+                output_len: 128,
+                priority: PriorityClass::Interactive,
+                slo: Some(Slo::new(2.0, 0.1)),
+            },
+            TrafficClass {
+                share: 0.3,
+                prompt_len: 1024,
+                output_len: 256,
+                priority: PriorityClass::Standard,
+                slo: Some(Slo::new(5.0, 0.25)),
+            },
+            TrafficClass {
+                share: 0.2,
+                prompt_len: 2048,
+                output_len: 512,
+                priority: PriorityClass::Batch,
+                slo: None,
+            },
+        ])
+    }
+
+    /// Generates `count` Poisson arrivals at `rate_per_s`, sampling each
+    /// request's class by share. Deterministic in `seed` (same xorshift
+    /// generator as [`crate::scheduler::poisson_arrivals`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not strictly positive.
+    pub fn generate(&self, rate_per_s: f64, count: usize, seed: u64) -> Vec<Request> {
+        assert!(rate_per_s > 0.0, "rate must be positive");
+        let total_share: f64 = self.classes.iter().map(|c| c.share).sum();
+        let mut uniform = crate::scheduler::UniformStream::new(seed);
+        let mut t = 0.0;
+        (0..count)
+            .map(|id| {
+                t += -uniform.next().ln() / rate_per_s;
+                let mut pick = uniform.next() * total_share;
+                let mut class = self.classes[self.classes.len() - 1];
+                for c in &self.classes {
+                    if pick < c.share {
+                        class = *c;
+                        break;
+                    }
+                    pick -= c.share;
+                }
+                let mut req = Request::new(id as u64, t, class.prompt_len, class.output_len)
+                    .with_priority(class.priority);
+                if let Some(slo) = class.slo {
+                    req = req.with_slo(slo);
+                }
+                req
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +194,46 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_batch_rejected() {
         let _ = Workload::new(0, 1, 1);
+    }
+
+    #[test]
+    fn paper_mix_samples_all_classes_by_share() {
+        let mix = ArrivalMix::paper_mix();
+        let reqs = mix.generate(8.0, 600, 19);
+        assert_eq!(reqs.len(), 600);
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival_s > w[0].arrival_s, "arrivals sorted");
+        }
+        let count = |p: PriorityClass| reqs.iter().filter(|r| r.priority == p).count();
+        let interactive = count(PriorityClass::Interactive);
+        let standard = count(PriorityClass::Standard);
+        let batch = count(PriorityClass::Batch);
+        assert_eq!(interactive + standard + batch, 600);
+        // Shares within a loose band of 0.5 / 0.3 / 0.2.
+        assert!((interactive as f64 / 600.0 - 0.5).abs() < 0.1, "{interactive}");
+        assert!((standard as f64 / 600.0 - 0.3).abs() < 0.1, "{standard}");
+        assert!((batch as f64 / 600.0 - 0.2).abs() < 0.1, "{batch}");
+        // QoS rides along with the class.
+        assert!(reqs
+            .iter()
+            .filter(|r| r.priority == PriorityClass::Interactive)
+            .all(|r| r.slo == Some(Slo::new(2.0, 0.1)) && r.prompt_len == 512));
+        assert!(reqs
+            .iter()
+            .filter(|r| r.priority == PriorityClass::Batch)
+            .all(|r| r.slo.is_none() && r.output_len == 512));
+    }
+
+    #[test]
+    fn mix_generation_is_deterministic() {
+        let mix = ArrivalMix::paper_mix();
+        assert_eq!(mix.generate(4.0, 50, 7), mix.generate(4.0, 50, 7));
+        assert_ne!(mix.generate(4.0, 50, 7), mix.generate(4.0, 50, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_rejected() {
+        let _ = ArrivalMix::new(Vec::new());
     }
 }

@@ -1,18 +1,16 @@
 //! Online serving demo: continuous batching under Poisson load, comparing
 //! ZipServ and the vLLM baseline at increasing request rates — the
-//! production-serving view of the paper's KV-capacity mechanism.
+//! production-serving view of the paper's KV-capacity mechanism. Engines
+//! come from the fluent [`EngineBuilder`]; swap `.policy(...)` to change
+//! the admission discipline.
 //!
 //! ```text
 //! cargo run --release --example online_serving
 //! ```
 
 use zipserv::prelude::*;
-use zipserv::serve::cluster::GpuCluster;
-use zipserv::serve::engine::{EngineKind, ServingEngine};
-use zipserv::serve::scheduler::{poisson_arrivals, ContinuousBatcher};
 
 fn main() {
-    let cluster = GpuCluster::single(Gpu::Rtx4090);
     println!("LLaMA3.1-8B on 1xRTX4090, prompt 1024, output 256, 60 requests\n");
     println!(
         "{:>10} {:>10} | {:>8} {:>9} {:>9} {:>7} | {:>8} {:>9} {:>9} {:>7}",
@@ -26,13 +24,18 @@ fn main() {
         let arrivals = poisson_arrivals(rate, 60, 1024, 256, 7);
         print!("{:>7.0}/s {:>12}|", rate, "");
         for kind in [EngineKind::ZipServ, EngineKind::Vllm] {
-            let engine = ServingEngine::new(kind, LlmModel::Llama31_8b, cluster);
-            let r = ContinuousBatcher::new(&engine).run(arrivals.clone());
+            let engine = ServingEngine::builder()
+                .kind(kind)
+                .model(LlmModel::Llama31_8b)
+                .cluster(GpuCluster::single(Gpu::Rtx4090))
+                .policy(Fcfs)
+                .build();
+            let r = engine.serve_online(arrivals.clone());
             print!(
                 " {:>8.0} {:>9.1} {:>9.1} {:>7} |",
                 r.throughput_tps,
-                r.latency_percentile(0.5),
-                r.latency_percentile(0.95),
+                r.latency_percentile(0.5).expect("completions"),
+                r.latency_percentile(0.95).expect("completions"),
                 r.peak_batch
             );
         }

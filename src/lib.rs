@@ -44,5 +44,13 @@ pub mod prelude {
     pub use crate::bf16::{Bf16, Matrix};
     pub use crate::gpu::device::{DeviceSpec, Gpu};
     pub use crate::kernels::shapes::{LayerKind, LlmModel};
+    pub use crate::serve::engine::{EngineBuilder, EngineKind, ServingEngine};
+    pub use crate::serve::policy::{
+        Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo,
+        SloEdf,
+    };
+    pub use crate::serve::scheduler::{poisson_arrivals, Request, ScheduleReport};
+    pub use crate::serve::workload::{ArrivalMix, TrafficClass, Workload};
+    pub use crate::serve::GpuCluster;
     pub use crate::tbe::{TbeCompressor, TbeMatrix};
 }

@@ -4,8 +4,9 @@ use zipserv::gpu::device::Gpu;
 use zipserv::kernels::shapes::LlmModel;
 use zipserv::serve::cluster::GpuCluster;
 use zipserv::serve::engine::{EngineKind, ServingEngine};
-use zipserv::serve::scheduler::{poisson_arrivals, ContinuousBatcher};
-use zipserv::serve::workload::Workload;
+use zipserv::serve::policy::{PriorityClass, SloEdf};
+use zipserv::serve::scheduler::poisson_arrivals;
+use zipserv::serve::workload::{ArrivalMix, Workload};
 
 fn deployments() -> Vec<(LlmModel, GpuCluster)> {
     vec![
@@ -78,13 +79,55 @@ fn online_and_offline_views_agree_on_the_winner() {
     // the static-batch sweep: ZipServ over vLLM.
     let cluster = GpuCluster::single(Gpu::Rtx4090);
     let arrivals = poisson_arrivals(6.0, 40, 512, 128, 23);
-    let zip = ServingEngine::new(EngineKind::ZipServ, LlmModel::Llama31_8b, cluster);
-    let vllm = ServingEngine::new(EngineKind::Vllm, LlmModel::Llama31_8b, cluster);
-    let rz = ContinuousBatcher::new(&zip).run(arrivals.clone());
-    let rv = ContinuousBatcher::new(&vllm).run(arrivals);
+    let build = |kind| {
+        ServingEngine::builder()
+            .kind(kind)
+            .model(LlmModel::Llama31_8b)
+            .cluster(cluster)
+            .build()
+    };
+    let rz = build(EngineKind::ZipServ).serve_online(arrivals.clone());
+    let rv = build(EngineKind::Vllm).serve_online(arrivals);
     assert_eq!(rz.completions.len(), 40);
     assert_eq!(rv.completions.len(), 40);
     assert!(rz.throughput_tps >= rv.throughput_tps * 0.98);
+}
+
+#[test]
+fn mixed_priority_traffic_still_favors_the_compressed_engine() {
+    // The scenario the policy redesign opens: the same mixed-priority,
+    // SLO-carrying trace under the same EDF policy on compressed vs
+    // uncompressed engines. ZipServ's freed weight memory turns into
+    // admission headroom: more throughput and a lower tail TTFT.
+    let arrivals = ArrivalMix::paper_mix().generate(12.0, 100, 37);
+    let build = |kind| {
+        ServingEngine::builder()
+            .kind(kind)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::single(Gpu::Rtx4090))
+            .policy(SloEdf::default())
+            .build()
+    };
+    let rz = build(EngineKind::ZipServ).serve_online(arrivals.clone());
+    let rv = build(EngineKind::Vllm).serve_online(arrivals);
+    assert_eq!(rz.completions.len(), 100);
+    assert_eq!(rv.completions.len(), 100);
+    assert!(
+        rz.throughput_tps > rv.throughput_tps,
+        "{} vs {}",
+        rz.throughput_tps,
+        rv.throughput_tps
+    );
+    let (tz, tv) = (
+        rz.ttft_percentile(0.99).expect("completions"),
+        rv.ttft_percentile(0.99).expect("completions"),
+    );
+    assert!(tz < tv, "p99 TTFT {tz} vs {tv}");
+    // Per-class stats exist for every tier of the mix on both engines.
+    for class in PriorityClass::ALL {
+        assert!(rz.class_stats(class).is_some(), "{class} missing on zip");
+        assert!(rv.class_stats(class).is_some(), "{class} missing on vllm");
+    }
 }
 
 #[test]
