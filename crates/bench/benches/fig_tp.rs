@@ -1,0 +1,66 @@
+//! Tensor/pipeline-parallel serving race: the §6.5 multi-GPU deployments
+//! (plus a two-node pipeline projection) driving the policy-generic
+//! continuous-batching simulator.
+//!
+//! The printed `figures::tp_parallel()` table records the modeled
+//! outcomes — per-step linear/attention/all-reduce/p2p breakdowns, TP
+//! scaling ratios (the `FIG_TP_SCALING` line the CI smoke check gates
+//! on), and the communication seconds the scheduler charges — while the
+//! timed section records simulator cost per deployment so scheduler-side
+//! regressions show up in `BENCH_baseline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_gpu_sim::device::Gpu;
+use zipserv_kernels::shapes::LlmModel;
+use zipserv_serve::cluster::GpuCluster;
+use zipserv_serve::engine::{EngineKind, ServingEngine};
+use zipserv_serve::policy::Fcfs;
+use zipserv_serve::scheduler::{poisson_arrivals, run_policy};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::tp_parallel());
+    let deployments: Vec<(&str, LlmModel, GpuCluster)> = vec![
+        (
+            "tp1_rtx4090_8b",
+            LlmModel::Llama31_8b,
+            GpuCluster::single(Gpu::Rtx4090),
+        ),
+        (
+            "tp2_l40s_24b",
+            LlmModel::Mistral24b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 2),
+        ),
+        (
+            "tp4_l40s_70b",
+            LlmModel::Llama31_70b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 4),
+        ),
+        (
+            "tp4_pp2_l40s_70b",
+            LlmModel::Llama31_70b,
+            GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2),
+        ),
+    ];
+    let arrivals = poisson_arrivals(3.0, 40, 512, 64, 41);
+    let mut group = c.benchmark_group("fig_tp/online_40reqs");
+    group.sample_size(10);
+    for (label, model, cluster) in &deployments {
+        let engine = ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(*model)
+            .cluster(*cluster)
+            .build();
+        group.bench_function(label, |b| {
+            b.iter(|| run_policy(black_box(&engine), &Fcfs, 64, arrivals.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

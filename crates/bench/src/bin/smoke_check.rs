@@ -1,0 +1,243 @@
+//! CI bench-smoke gate: compares *ratios* from a bench-run log against
+//! `BENCH_baseline.json`, failing on > 25% regression.
+//!
+//! Shared runners are far too noisy to gate on absolute ns, but ratios of
+//! benches measured in the same run (blocked vs naive ZipGEMM, TCA-TBE vs
+//! baseline codecs) cancel the machine out, and the modeled TP-scaling
+//! ratios (`FIG_TP_SCALING`, printed by the `fig_tp` bench) are
+//! deterministic. Measured speedup ratios are gated one-sided — only a
+//! drop past the tolerance fails (a faster kernel is not a regression,
+//! and even same-container re-records drift ~10% in either direction);
+//! the deterministic TP-scaling ratios are gated symmetrically, since any
+//! drift there means the cost model itself changed. Usage:
+//!
+//! ```text
+//! cargo bench -p zipserv-bench --bench fig11_kernels ... | tee bench.log
+//! cargo run -p zipserv-bench --bin smoke_check -- bench.log BENCH_baseline.json
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Relative drift allowed before a ratio counts as a regression.
+const TOLERANCE: f64 = 0.25;
+
+/// Parses `id    12345.6 ns/iter ...` bench lines into `id -> mean_ns`.
+fn parse_bench_log(log: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for line in log.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(mean), Some(unit)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if unit != "ns/iter" {
+            continue;
+        }
+        if let Ok(v) = mean.parse::<f64>() {
+            out.insert(id.to_string(), v);
+        }
+    }
+    out
+}
+
+/// Parses the `FIG_TP_SCALING tp2=<x> tp4=<y>` line the fig_tp bench prints.
+fn parse_tp_scaling(log: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for line in log.lines() {
+        let Some(rest) = line.strip_prefix("FIG_TP_SCALING ") else {
+            continue;
+        };
+        for kv in rest.split_whitespace() {
+            if let Some((k, v)) = kv.split_once('=') {
+                if let Ok(v) = v.parse::<f64>() {
+                    out.insert(k.to_string(), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Minimal extractor for the flat numeric fields this check needs from
+/// `BENCH_baseline.json` (the vendored `serde` is a no-op stand-in, so the
+/// baseline is parsed by key search; keys are unique in that file).
+fn baseline_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let num_start = rest.find(|c: char| c.is_ascii_digit() || c == '-')?;
+    let tail = &rest[num_start..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// `mean_ns` of one bench id in the baseline: the first number after the
+/// id's key (the `mean_ns` field).
+fn baseline_mean_ns(json: &str, id: &str) -> Option<f64> {
+    baseline_number(json, id)
+}
+
+struct Check {
+    name: &'static str,
+    current: f64,
+    baseline: f64,
+    /// Measured speedups regress only downward (one-sided gate);
+    /// deterministic model ratios must not move in either direction.
+    symmetric: bool,
+}
+
+impl Check {
+    fn drift(&self) -> f64 {
+        let signed = self.current / self.baseline - 1.0;
+        if self.symmetric {
+            signed.abs()
+        } else {
+            (-signed).max(0.0)
+        }
+    }
+
+    fn pass(&self) -> bool {
+        self.baseline > 0.0 && self.drift() <= TOLERANCE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(log_path), Some(baseline_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: smoke_check <bench.log> <BENCH_baseline.json>");
+        return ExitCode::from(2);
+    };
+    let log = std::fs::read_to_string(&log_path).expect("bench log readable");
+    let baseline = std::fs::read_to_string(&baseline_path).expect("baseline readable");
+    let means = parse_bench_log(&log);
+    let tp = parse_tp_scaling(&log);
+
+    let log_ratio = |num: &str, den: &str| -> Option<f64> {
+        Some(means.get(num)? / means.get(den)?)
+    };
+    let base_ratio = |num: &str, den: &str| -> Option<f64> {
+        Some(baseline_mean_ns(&baseline, num)? / baseline_mean_ns(&baseline, den)?)
+    };
+
+    // (name, current ratio, baseline ratio) — measured-in-the-same-run
+    // kernel ratios first, then the deterministic TP-scaling model ratios.
+    let ratio_pairs: [(&str, &str, &str); 4] = [
+        (
+            "blocked_vs_naive_fig11_slice",
+            "fig11/zipgemm_real_512x4096xb32/naive_reference",
+            "fig11/zipgemm_real_512x4096xb32/blocked",
+        ),
+        (
+            "blocked_vs_naive_64x64",
+            "fig12/zipgemm_naive_64x64xb32",
+            "fig12/zipgemm_blocked_64x64xb32",
+        ),
+        (
+            "tca_tbe_vs_huffman_decomp",
+            "fig13/decode_262k_weights/huffman_dfloat11",
+            "fig13/decode_262k_weights/tca_tbe",
+        ),
+        (
+            "tca_tbe_vs_rans_decomp",
+            "fig13/decode_262k_weights/rans_dietgpu",
+            "fig13/decode_262k_weights/tca_tbe",
+        ),
+    ];
+
+    let mut checks = Vec::new();
+    let mut missing = Vec::new();
+    for (name, num, den) in ratio_pairs {
+        match (log_ratio(num, den), base_ratio(num, den)) {
+            (Some(current), Some(baseline)) => checks.push(Check {
+                name,
+                current,
+                baseline,
+                symmetric: false,
+            }),
+            _ => missing.push(name),
+        }
+    }
+    for (name, key) in [
+        ("fig_tp_scaling_tp2", "tp2"),
+        ("fig_tp_scaling_tp4", "tp4"),
+    ] {
+        match (tp.get(key), baseline_number(&baseline, name)) {
+            (Some(&current), Some(baseline)) => checks.push(Check {
+                name,
+                current,
+                baseline,
+                symmetric: true,
+            }),
+            _ => missing.push(name),
+        }
+    }
+
+    if !missing.is_empty() {
+        eprintln!("smoke_check: missing data for {missing:?} (bench not run or baseline entry absent)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    println!("{:<32} {:>9} {:>9} {:>7}  verdict", "ratio", "current", "baseline", "drift");
+    for c in &checks {
+        let verdict = if c.pass() { "ok" } else { "REGRESSION" };
+        failed |= !c.pass();
+        println!(
+            "{:<32} {:>9.3} {:>9.3} {:>6.1}%  {verdict}",
+            c.name,
+            c.current,
+            c.baseline,
+            100.0 * c.drift()
+        );
+    }
+    if failed {
+        eprintln!("smoke_check: ratio drifted more than {:.0}% from baseline", 100.0 * TOLERANCE);
+        return ExitCode::FAILURE;
+    }
+    println!("smoke_check: all {} ratios within {:.0}%", checks.len(), 100.0 * TOLERANCE);
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_lines_and_scaling() {
+        let log = "a/b/c        123.4 ns/iter   55.0 Melem/s\nnot a bench line\nFIG_TP_SCALING tp2=1.5 tp4=2.0\n";
+        let means = parse_bench_log(log);
+        assert_eq!(means.get("a/b/c"), Some(&123.4));
+        assert_eq!(means.len(), 1);
+        let tp = parse_tp_scaling(log);
+        assert_eq!(tp.get("tp2"), Some(&1.5));
+        assert_eq!(tp.get("tp4"), Some(&2.0));
+    }
+
+    #[test]
+    fn extracts_baseline_numbers() {
+        let json = r#"{ "benches": { "x/y": { "mean_ns": 1500.5, "melem_per_s": 2.0 } },
+                        "derived": { "some_ratio": 1.88 } }"#;
+        assert_eq!(baseline_number(json, "x/y"), Some(1500.5));
+        assert_eq!(baseline_number(json, "some_ratio"), Some(1.88));
+        assert_eq!(baseline_number(json, "absent"), None);
+    }
+
+    #[test]
+    fn tolerance_band() {
+        // Symmetric (deterministic model ratios): both directions gate.
+        let ok = Check { name: "r", current: 1.2, baseline: 1.0, symmetric: true };
+        assert!(ok.pass());
+        let bad = Check { name: "r", current: 1.3, baseline: 1.0, symmetric: true };
+        assert!(!bad.pass());
+        // One-sided (measured speedups): only a drop regresses.
+        let faster = Check { name: "r", current: 2.0, baseline: 1.0, symmetric: false };
+        assert!(faster.pass());
+        let slower = Check { name: "r", current: 0.7, baseline: 1.0, symmetric: false };
+        assert!(!slower.pass());
+        let dip = Check { name: "r", current: 0.8, baseline: 1.0, symmetric: false };
+        assert!(dip.pass());
+    }
+}

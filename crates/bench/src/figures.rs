@@ -659,6 +659,114 @@ pub fn sched() -> String {
     )
 }
 
+/// Tensor/pipeline-parallel serving: the three §6.5 deployments plus a
+/// two-node pipeline projection, with the communication cost (all-reduce,
+/// stage hops) broken out of every per-step time — including the steps the
+/// online scheduler actually charges (`ScheduleReport::comm_s`).
+///
+/// Prints a machine-readable `FIG_TP_SCALING` line consumed by the CI
+/// smoke check (`smoke_check` bin), which gates on the *ratios* staying
+/// within 25% of `BENCH_baseline.json` rather than absolute times.
+pub fn tp_parallel() -> String {
+    use zipserv_serve::scheduler::poisson_arrivals;
+    let mut out = String::from(
+        "Multi-GPU serving — §6.5 deployments + 2-node PP projection, ZipServ, batch 32 @ seq 1024:\n",
+    );
+    let deployments: Vec<(&str, LlmModel, GpuCluster)> = vec![
+        ("1xRTX4090", LlmModel::Llama31_8b, GpuCluster::single(Gpu::Rtx4090)),
+        (
+            "2xL40S (TP2)",
+            LlmModel::Mistral24b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 2),
+        ),
+        (
+            "4xL40S (TP4)",
+            LlmModel::Llama31_70b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 4),
+        ),
+        (
+            "2x(4xL40S) (TP4 PP2)",
+            LlmModel::Llama31_70b,
+            GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, model, cluster) in &deployments {
+        let engine = ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(*model)
+            .cluster(*cluster)
+            .build();
+        let s = engine.decode_step(32, 1024);
+        let report = engine.serve_online(poisson_arrivals(3.0, 24, 512, 64, 41));
+        rows.push(vec![
+            label.to_string(),
+            model.name().to_string(),
+            f2(s.linear_ms),
+            f2(s.attention_ms),
+            f2(s.allreduce_ms),
+            f2(s.p2p_ms),
+            f2(s.total_ms()),
+            pct(s.comm_ms() / s.total_ms()),
+            format!("{:.2}/{:.1}", report.comm_s, report.duration_s),
+        ]);
+    }
+    out.push_str(&render(
+        &[
+            "deployment",
+            "model",
+            "linear",
+            "attn",
+            "allreduce",
+            "p2p",
+            "total ms",
+            "comm",
+            "sched comm/dur (s)",
+        ],
+        &rows,
+    ));
+
+    // TP scaling on a fixed model: LLaMA3.1-8B across 1/2/4 L40S.
+    let base = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::single(Gpu::L40s))
+        .build();
+    let t1 = base.decode_step(32, 1024).total_ms();
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for tp in [1u32, 2, 4] {
+        let engine = ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::tensor_parallel(Gpu::L40s, tp))
+            .build();
+        let s = engine.decode_step(32, 1024);
+        let speedup = t1 / s.total_ms();
+        ratios.push(speedup);
+        rows.push(vec![
+            format!("TP{tp}"),
+            f2(s.total_ms()),
+            f2(s.allreduce_ms),
+            format!("{speedup:.2}x"),
+            pct(speedup / tp as f64),
+            format!("{}", engine.kv_capacity_tokens()),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nTP scaling — LLaMA3.1-8B on 1/2/4 L40S (all-reduce caps the speedup below linear):\n{}",
+        render(
+            &["degree", "step ms", "allreduce ms", "speedup", "efficiency", "KV tokens"],
+            &rows
+        )
+    ));
+    out.push_str(&format!(
+        "FIG_TP_SCALING tp2={:.4} tp4={:.4}\n",
+        ratios[1], ratios[2]
+    ));
+    out
+}
+
 /// §7 extension: lossless KV-cache compression with per-page bases.
 pub fn kv_compression() -> String {
     use zipserv_core::kv::{KvCompressionStats, KvPageCodec};
@@ -763,6 +871,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("ablation", ablation),
         ("online", online),
         ("sched", sched),
+        ("tp", tp_parallel),
         ("kv", kv_compression),
         ("prefill", prefill_overlap),
         ("quant", quant_stack),

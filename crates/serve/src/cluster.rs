@@ -1,16 +1,32 @@
 //! Deployment descriptions: which GPUs, how many, and how they talk.
+//!
+//! A deployment is a grid of `tp × pp` identical devices: `count` (= the
+//! tensor-parallel degree) GPUs per pipeline stage, `pp` pipeline stages.
+//! TP ranks within a stage talk over the intra-node interconnect
+//! (`link_gbps`, NVLink- or PCIe-class); adjacent pipeline stages exchange
+//! activations over the inter-stage link (`pp_link_gbps`, typically a
+//! slower cross-node fabric).
 
 use zipserv_gpu_sim::device::{DeviceSpec, Gpu, Tier};
 
-/// A homogeneous GPU deployment running one model with tensor parallelism.
+/// Effective inter-node bandwidth for pipeline-stage hops (GB/s per
+/// direction): IB/Ethernet-class fabric between hosts.
+pub const INTER_NODE_GBPS: f64 = 25.0;
+
+/// A homogeneous GPU deployment running one model with tensor and/or
+/// pipeline parallelism.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuCluster {
     /// Device type.
     pub gpu: Gpu,
-    /// Number of devices (= tensor-parallel degree).
+    /// Devices per pipeline stage (= tensor-parallel degree).
     pub count: u32,
-    /// Effective inter-GPU bandwidth per direction, GB/s.
+    /// Effective intra-stage (TP) bandwidth per direction, GB/s.
     pub link_gbps: f64,
+    /// Pipeline-parallel degree (stages).
+    pub pp: u32,
+    /// Effective inter-stage (PP) bandwidth per direction, GB/s.
+    pub pp_link_gbps: f64,
 }
 
 impl GpuCluster {
@@ -20,6 +36,8 @@ impl GpuCluster {
             gpu,
             count: 1,
             link_gbps: 0.0,
+            pp: 1,
+            pp_link_gbps: 0.0,
         }
     }
 
@@ -40,7 +58,45 @@ impl GpuCluster {
             gpu,
             count,
             link_gbps: if count > 1 { link } else { 0.0 },
+            pp: 1,
+            pp_link_gbps: 0.0,
         }
+    }
+
+    /// A `tp × pp` grid: `pp` pipeline stages of `tp` tensor-parallel GPUs
+    /// each. Intra-stage links follow [`GpuCluster::tensor_parallel`];
+    /// stages talk over an [`INTER_NODE_GBPS`] fabric (each stage is
+    /// typically its own host).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp == 0` or `pp == 0`.
+    pub fn pipeline_parallel(gpu: Gpu, tp: u32, pp: u32) -> Self {
+        assert!(pp >= 1, "cluster needs at least one pipeline stage");
+        let mut c = GpuCluster::tensor_parallel(gpu, tp);
+        c.pp = pp;
+        c.pp_link_gbps = if pp > 1 { INTER_NODE_GBPS } else { 0.0 };
+        c
+    }
+
+    /// The same deployment with a different tensor-parallel degree
+    /// (re-deriving the tier-appropriate intra-stage link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp == 0`.
+    pub fn with_tp(self, tp: u32) -> Self {
+        GpuCluster::pipeline_parallel(self.gpu, tp, self.pp)
+    }
+
+    /// The same deployment with a different pipeline-parallel degree
+    /// (re-deriving the inter-stage link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pp == 0`.
+    pub fn with_pp(self, pp: u32) -> Self {
+        GpuCluster::pipeline_parallel(self.gpu, self.count, pp)
     }
 
     /// The device specification.
@@ -48,9 +104,9 @@ impl GpuCluster {
         self.gpu.spec()
     }
 
-    /// Aggregate DRAM capacity in bytes.
+    /// Aggregate DRAM capacity in bytes across every rank.
     pub fn total_dram_bytes(&self) -> u64 {
-        (self.spec().dram_gib * self.count as f64 * 1024.0 * 1024.0 * 1024.0) as u64
+        (self.spec().dram_gib * self.total_devices() as f64 * 1024.0 * 1024.0 * 1024.0) as u64
     }
 
     /// Per-GPU DRAM capacity in bytes.
@@ -58,9 +114,34 @@ impl GpuCluster {
         (self.spec().dram_gib * 1024.0 * 1024.0 * 1024.0) as u64
     }
 
-    /// Tensor-parallel degree.
+    /// Tensor-parallel degree (GPUs per pipeline stage).
     pub fn tp(&self) -> u32 {
         self.count
+    }
+
+    /// Pipeline-parallel degree (stages).
+    pub fn pp(&self) -> u32 {
+        self.pp
+    }
+
+    /// Total devices in the deployment (`tp × pp`).
+    pub fn total_devices(&self) -> u32 {
+        self.count * self.pp
+    }
+
+    /// Transformer layers held by each pipeline stage: a balanced
+    /// partition, with the first `layers % pp` stages carrying one extra
+    /// layer. With `pp == 1` this is just `[layers]`.
+    pub fn stage_layers(&self, layers: u64) -> Vec<u64> {
+        let pp = self.pp as u64;
+        let base = layers / pp;
+        let extra = layers % pp;
+        (0..pp).map(|s| base + u64::from(s < extra)).collect()
+    }
+
+    /// Layers on the most-loaded (bottleneck) pipeline stage.
+    pub fn bottleneck_stage_layers(&self, layers: u64) -> u64 {
+        layers.div_ceil(self.pp as u64)
     }
 }
 
@@ -74,10 +155,12 @@ mod tests {
         // LLaMA3.1-70B on 4×L40S.
         let a = GpuCluster::single(Gpu::Rtx4090);
         assert_eq!(a.tp(), 1);
+        assert_eq!(a.pp(), 1);
         assert_eq!(a.link_gbps, 0.0);
         let b = GpuCluster::tensor_parallel(Gpu::L40s, 2);
         assert_eq!(b.tp(), 2);
         assert!(b.link_gbps > 0.0);
+        assert_eq!(b.pp_link_gbps, 0.0);
         let c = GpuCluster::tensor_parallel(Gpu::L40s, 4);
         assert_eq!(c.total_dram_bytes(), 4 * c.dram_bytes_per_gpu());
     }
@@ -93,5 +176,45 @@ mod tests {
     fn capacity_math() {
         let c = GpuCluster::single(Gpu::Rtx4090);
         assert_eq!(c.dram_bytes_per_gpu(), 24 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn pipeline_grid_counts_every_rank() {
+        let c = GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2);
+        assert_eq!(c.tp(), 4);
+        assert_eq!(c.pp(), 2);
+        assert_eq!(c.total_devices(), 8);
+        assert_eq!(c.total_dram_bytes(), 8 * c.dram_bytes_per_gpu());
+        // Stage hops cross nodes over the fixed inter-node fabric — much
+        // slower than an NVLink-class intra-stage link.
+        assert_eq!(c.pp_link_gbps, INTER_NODE_GBPS);
+        let dc = GpuCluster::pipeline_parallel(Gpu::A100, 2, 2);
+        assert!(dc.pp_link_gbps < dc.link_gbps);
+    }
+
+    #[test]
+    fn single_stage_has_no_pp_link() {
+        let c = GpuCluster::pipeline_parallel(Gpu::L40s, 2, 1);
+        assert_eq!(c, GpuCluster::tensor_parallel(Gpu::L40s, 2));
+        assert_eq!(c.pp_link_gbps, 0.0);
+    }
+
+    #[test]
+    fn stage_layer_partition_is_balanced_and_complete() {
+        let c = GpuCluster::pipeline_parallel(Gpu::L40s, 1, 3);
+        let stages = c.stage_layers(32);
+        assert_eq!(stages, vec![11, 11, 10]);
+        assert_eq!(stages.iter().sum::<u64>(), 32);
+        assert_eq!(c.bottleneck_stage_layers(32), 11);
+        // pp=1 degenerates to the whole model on one stage.
+        assert_eq!(GpuCluster::single(Gpu::Rtx4090).stage_layers(32), vec![32]);
+    }
+
+    #[test]
+    fn with_tp_and_with_pp_rederive_links() {
+        let c = GpuCluster::single(Gpu::L40s).with_tp(4).with_pp(2);
+        assert_eq!(c, GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2));
+        let back = c.with_pp(1).with_tp(1);
+        assert_eq!(back, GpuCluster::single(Gpu::L40s));
     }
 }

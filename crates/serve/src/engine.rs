@@ -13,10 +13,13 @@
 
 use crate::attention::{decode_attention_us, prefill_attention_us};
 use crate::cluster::GpuCluster;
-use crate::kvcache::PagedKvCache;
+use crate::kvcache::{KvShards, PagedKvCache};
 use crate::memory::{MemoryPlan, WeightFormat};
 use crate::metrics::{RunReport, StepBreakdown};
-use crate::parallel::{allreduce_us, block_allreduce_bytes, shard_layer};
+use crate::parallel::{
+    allreduce_us, block_allreduce_bytes, p2p_us, shard_layer, stage_activation_bytes,
+    PipelineSchedule,
+};
 use crate::policy::{Fcfs, SchedulePolicy};
 use crate::scheduler::{run_policy, Request, ScheduleReport};
 use crate::workload::Workload;
@@ -141,6 +144,9 @@ pub struct EngineBuilder {
     cluster: GpuCluster,
     policy: Box<dyn SchedulePolicy>,
     max_batch: usize,
+    tp: Option<u32>,
+    pp: Option<u32>,
+    micro_batches: Option<u32>,
 }
 
 impl Default for EngineBuilder {
@@ -153,6 +159,9 @@ impl Default for EngineBuilder {
             cluster: GpuCluster::single(Gpu::Rtx4090),
             policy: Box::new(Fcfs),
             max_batch: 64,
+            tp: None,
+            pp: None,
+            micro_batches: None,
         }
     }
 }
@@ -173,6 +182,43 @@ impl EngineBuilder {
     /// Sets the cluster (default a single RTX 4090).
     pub fn cluster(mut self, cluster: GpuCluster) -> Self {
         self.cluster = cluster;
+        self
+    }
+
+    /// Sets the tensor-parallel degree, overriding the cluster's GPU count
+    /// per stage (the intra-stage link is re-derived from the GPU tier).
+    /// `tp(1)`/`pp(1)` are exact no-ops relative to a single-device
+    /// cluster, pinned by the `parallel_serving` suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`EngineBuilder::build`]) if `tp == 0`.
+    pub fn tp(mut self, tp: u32) -> Self {
+        self.tp = Some(tp);
+        self
+    }
+
+    /// Sets the pipeline-parallel degree (stages), overriding the
+    /// cluster's. Stages talk over an inter-node fabric; see
+    /// [`GpuCluster::pipeline_parallel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`EngineBuilder::build`]) if `pp == 0`.
+    pub fn pp(mut self, pp: u32) -> Self {
+        self.pp = Some(pp);
+        self
+    }
+
+    /// Sets the pipeline micro-batch count per step (default `2 × pp`,
+    /// the usual GPipe fill ratio; ignored when `pp == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micro_batches == 0`.
+    pub fn micro_batches(mut self, micro_batches: u32) -> Self {
+        assert!(micro_batches > 0, "micro-batch count must be nonzero");
+        self.micro_batches = Some(micro_batches);
         self
     }
 
@@ -200,21 +246,31 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine, computing its memory plan.
+    /// Builds the engine, resolving the parallelism axes and computing its
+    /// (bottleneck-rank) memory plan.
     ///
     /// # Panics
     ///
     /// Panics if the model does not fit the cluster (see
-    /// [`MemoryPlan::plan`]).
+    /// [`MemoryPlan::plan`]), or if a `tp`/`pp` override is zero.
     pub fn build(self) -> ServingEngine {
-        let plan = MemoryPlan::plan(self.model, &self.cluster, self.kind.weight_format());
+        let mut cluster = self.cluster;
+        if let Some(tp) = self.tp {
+            cluster = cluster.with_tp(tp);
+        }
+        if let Some(pp) = self.pp {
+            cluster = cluster.with_pp(pp);
+        }
+        let micro_batches = self.micro_batches.unwrap_or(2 * cluster.pp()).max(1);
+        let plan = MemoryPlan::plan(self.model, &cluster, self.kind.weight_format());
         ServingEngine {
             kind: self.kind,
             model: self.model,
-            cluster: self.cluster,
+            cluster,
             plan,
             policy: self.policy,
             max_batch: self.max_batch,
+            micro_batches,
         }
     }
 }
@@ -228,6 +284,7 @@ pub struct ServingEngine {
     plan: MemoryPlan,
     policy: Box<dyn SchedulePolicy>,
     max_batch: usize,
+    micro_batches: u32,
 }
 
 impl Clone for ServingEngine {
@@ -239,6 +296,7 @@ impl Clone for ServingEngine {
             plan: self.plan,
             policy: self.policy.clone_box(),
             max_batch: self.max_batch,
+            micro_batches: self.micro_batches,
         }
     }
 }
@@ -274,6 +332,21 @@ impl ServingEngine {
         self.kind
     }
 
+    /// The deployment this engine runs on.
+    pub fn cluster(&self) -> &GpuCluster {
+        &self.cluster
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> LlmModel {
+        self.model
+    }
+
+    /// Pipeline micro-batches per step (1-effective when `pp == 1`).
+    pub fn micro_batches(&self) -> u32 {
+        self.micro_batches
+    }
+
     /// The scheduling policy [`ServingEngine::serve_online`] runs under.
     pub fn policy(&self) -> &dyn SchedulePolicy {
         self.policy.as_ref()
@@ -291,12 +364,31 @@ impl ServingEngine {
         run_policy(self, self.policy.as_ref(), self.max_batch, arrivals)
     }
 
-    /// Time for one host-link transfer of `tokens` worth of this
-    /// deployment's per-GPU KV cache (PCIe 4.0 x16, ~32 GB/s sustained), in
-    /// seconds. Page-out preemption pays this twice: once out, once back.
+    /// KV bytes per token held by TP rank `rank` of a pipeline stage with
+    /// `layers` resident layers: the rank's share of the GQA KV heads
+    /// (ceil-split across `tp`; at least one head — replication — when
+    /// `tp > kv_heads`) times its stage's layer slice. Rank 0 always
+    /// carries the ceil share, so it is the fattest. The single source of
+    /// truth for both [`ServingEngine::kv_shards`] and
+    /// [`ServingEngine::kv_swap_s`].
+    fn rank_kv_bytes_per_token(&self, rank: u64, layers: u64) -> u64 {
+        let dims = self.model.dims();
+        let tp = self.cluster.tp() as u64;
+        let heads = (dims.kv_heads / tp + u64::from(rank < dims.kv_heads % tp)).max(1);
+        2 * 2 * heads * dims.head_dim * layers
+    }
+
+    /// Time for one host-link transfer of `tokens` worth of the
+    /// *bottleneck rank's* KV slice (PCIe 4.0 x16, ~32 GB/s sustained), in
+    /// seconds. Ranks page in parallel, so the slowest (most-loaded) rank
+    /// — rank 0 of the fattest stage — sets the transfer time. Page-out
+    /// preemption pays this once at eviction and once at resume.
     pub fn kv_swap_s(&self, tokens: u64) -> f64 {
         const PCIE_BYTES_PER_S: f64 = 32.0e9;
-        let bytes = tokens * self.model.dims().kv_bytes_per_token() / self.cluster.tp() as u64;
+        let layers = self
+            .cluster
+            .bottleneck_stage_layers(self.model.dims().layers);
+        let bytes = tokens * self.rank_kv_bytes_per_token(0, layers);
         bytes as f64 / PCIE_BYTES_PER_S
     }
 
@@ -369,7 +461,42 @@ impl ServingEngine {
     }
 
     /// One decode step breakdown at a given context length.
+    ///
+    /// Single-stage (`pp == 1`) deployments are costed exactly as they
+    /// always were: TP-sharded kernels plus two all-reduces per layer.
+    /// Pipeline-parallel deployments split the batch into
+    /// [`EngineBuilder::micro_batches`] micro-batches and run them
+    /// GPipe-style across the stages: the step's makespan is
+    /// `(pp + m − 1)` slots of the bottleneck stage's per-micro time plus
+    /// one inter-stage activation hop per slot — which charges both the
+    /// fill/drain bubble and the weight re-reads that make PP a capacity
+    /// play, not a latency one, in decode.
     pub fn decode_step(&self, batch: u64, context: u64) -> StepBreakdown {
+        if self.cluster.pp() == 1 {
+            return self.decode_step_single(batch, context);
+        }
+        let dims = self.model.dims();
+        let sched = self.pipeline_schedule(batch);
+        let bm = batch.div_ceil(sched.micro_batches as u64);
+        let micro = self.decode_step_single(bm, context);
+        // Components are layer-proportional to first order: the bottleneck
+        // stage holds `ceil(layers / pp)` of them and paces every slot.
+        let frac = self.cluster.bottleneck_stage_layers(dims.layers) as f64 / dims.layers as f64;
+        let scale = frac * sched.slots() as f64;
+        let hop_ms = p2p_us(&self.cluster, stage_activation_bytes(dims.hidden, bm)) / 1e3;
+        StepBreakdown {
+            linear_ms: micro.linear_ms * scale,
+            attention_ms: micro.attention_ms * scale,
+            decompression_ms: micro.decompression_ms * scale,
+            allreduce_ms: micro.allreduce_ms * scale,
+            p2p_ms: sched.slots() as f64 * hop_ms,
+            other_ms: self.kind.other_ms(dims.layers),
+        }
+    }
+
+    /// The single-stage (TP-only) decode-step model — the historical cost
+    /// path, reused per micro-batch by the pipelined wrapper.
+    fn decode_step_single(&self, batch: u64, context: u64) -> StepBreakdown {
         let dims = self.model.dims();
         let spec = self.cluster.spec();
         let tp = self.cluster.tp() as u64;
@@ -389,38 +516,89 @@ impl ServingEngine {
             attention_ms: attention_us / 1e3,
             decompression_ms: self.decode_decompression_ms(batch),
             allreduce_ms: allreduce,
+            p2p_ms: 0.0,
             other_ms: self.kind.other_ms(dims.layers),
         }
     }
 
+    /// The GPipe schedule for this deployment at a given batch: micro-batch
+    /// count clamped so no micro-batch is empty.
+    fn pipeline_schedule(&self, batch: u64) -> PipelineSchedule {
+        let m = u64::from(self.micro_batches).min(batch.max(1)) as u32;
+        PipelineSchedule::new(self.cluster.pp(), m)
+    }
+
     /// Prefill latency in ms for the whole batch.
+    ///
+    /// On pipeline-parallel deployments the prompt is chunked into
+    /// micro-batches and pipelined across stages; prefill compute is
+    /// compute-bound and ~linear in tokens, so the per-stage per-micro
+    /// time is the serial core scaled by the stage's layer share, and the
+    /// GPipe fill/drain bubble plus per-slot activation hops are charged
+    /// on top (see [`PipelineSchedule`]).
     pub fn prefill_ms(&self, batch: u64, prompt_len: u64) -> f64 {
         let dims = self.model.dims();
         let spec = self.cluster.spec();
         let tokens = batch * prompt_len;
         let mut us = 0.0;
+        // Per-pass weight decompression (ZipServ's decoupled §4.4 path,
+        // DFloat11's block expansion) is *fixed* per layer visit, not
+        // token-proportional — tracked separately so pipeline micro-batching
+        // cannot amortize it away (each micro-batch re-visits the layer
+        // after its scratch buffer was recycled). It still accumulates into
+        // `us` exactly as it always did, keeping the `pp == 1` result
+        // bit-identical to the historical computation.
+        let mut decomp_us = 0.0;
         for layer in LayerKind::BLOCK {
             let shape = self.sharded(layer, tokens);
             let mut t = CublasTc::time(shape, &spec).total_us * self.kind.linear_inefficiency();
+            let mut d = 0.0;
             if self.kind == EngineKind::ZipServ {
                 // Decoupled path: expand this layer's weights once per pass
                 // (§4.4; ~4% overhead at N=8192).
                 let stats = WeightStats::synthetic(shape.m, shape.k, TYPICAL_COVERAGE);
-                t += FusedZipGemm::decomp_profile(&stats).execute(&spec).total_us;
+                d = FusedZipGemm::decomp_profile(&stats).execute(&spec).total_us;
             }
             if self.kind == EngineKind::DFloat11 {
-                t += BaselineCodec::DFloat11
+                d = BaselineCodec::DFloat11
                     .decomp_profile(shape.m, shape.k, 2.65)
                     .execute(&spec)
                     .total_us;
             }
+            t += d;
             us += t * dims.layers as f64;
+            decomp_us += d * dims.layers as f64;
         }
         us += prefill_attention_us(&dims, batch, prompt_len, &spec, 0.55) / self.cluster.tp() as f64;
         let allreduce = 2.0
             * dims.layers as f64
             * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, tokens) / 2);
-        (us + allreduce) / 1e3 + self.kind.other_ms(dims.layers)
+        if self.cluster.pp() == 1 {
+            return (us + allreduce) / 1e3 + self.kind.other_ms(dims.layers);
+        }
+        let decomp_ms = decomp_us / 1e3;
+        self.pipelined_prefill_ms((us - decomp_us + allreduce) / 1e3, decomp_ms, tokens)
+            + self.kind.other_ms(dims.layers)
+    }
+
+    /// Applies the pipeline schedule to a serial prefill core: identity at
+    /// `pp == 1`, GPipe makespan otherwise. `scalable_ms` (GEMMs,
+    /// attention, all-reduce) divides across micro-batches; `fixed_ms`
+    /// (per-pass weight decompression) is paid again by every micro-batch
+    /// that sweeps a stage's layers, so more micro-batches shrink the
+    /// bubble but grow the re-expansion bill.
+    fn pipelined_prefill_ms(&self, scalable_ms: f64, fixed_ms: f64, tokens: u64) -> f64 {
+        if self.cluster.pp() == 1 {
+            return scalable_ms + fixed_ms;
+        }
+        let dims = self.model.dims();
+        let sched = self.pipeline_schedule(tokens);
+        let m = sched.micro_batches as u64;
+        let frac = self.cluster.bottleneck_stage_layers(dims.layers) as f64 / dims.layers as f64;
+        let stage_micro_ms = (scalable_ms / m as f64 + fixed_ms) * frac;
+        let hop_ms =
+            p2p_us(&self.cluster, stage_activation_bytes(dims.hidden, tokens.div_ceil(m))) / 1e3;
+        sched.makespan(stage_micro_ms, hop_ms)
     }
 
     /// Prefill with software-pipelined decompression (ZipServ only): layer
@@ -469,17 +647,45 @@ impl ServingEngine {
         let allreduce = 2.0
             * dims.layers as f64
             * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, tokens) / 2);
-        (linear_us + attn_us + allreduce) / 1e3 + self.kind.other_ms(dims.layers)
+        // The stream-overlapped makespan already hides decompression under
+        // the GEMM stream, so the whole core scales with micro-batch size
+        // (an approximation: at extreme micro-batch counts the DRAM-bound
+        // decompressor would poke out from under the shrunken GEMMs).
+        self.pipelined_prefill_ms((linear_us + attn_us + allreduce) / 1e3, 0.0, tokens)
+            + self.kind.other_ms(dims.layers)
     }
 
-    /// KV capacity in tokens for this deployment. Non-paged engines lose
-    /// ~40% of the region to fragmentation and static over-reservation.
+    /// One paged KV allocator per rank of the `tp × pp` grid, sized from
+    /// that rank's memory plan and KV slice: its share of the GQA KV heads
+    /// within the stage (ceil-split when `kv_heads % tp != 0`) and its
+    /// stage's layer slice across stages. The rank with the fattest slice
+    /// runs out of pages first and throttles the whole deployment — see
+    /// [`KvShards`].
+    pub fn kv_shards(&self) -> KvShards {
+        let dims = self.model.dims();
+        let tp = self.cluster.tp() as u64;
+        let stage_plans =
+            MemoryPlan::plan_stages(self.model, &self.cluster, self.kind.weight_format());
+        let stage_layers = self.cluster.stage_layers(dims.layers);
+        let mut shards = Vec::with_capacity(stage_plans.len() * tp as usize);
+        for (plan, &layers) in stage_plans.iter().zip(&stage_layers) {
+            for rank in 0..tp {
+                shards.push(PagedKvCache::new(
+                    plan.kv_bytes,
+                    self.rank_kv_bytes_per_token(rank, layers),
+                ));
+            }
+        }
+        KvShards::new(shards)
+    }
+
+    /// KV capacity in tokens for this deployment: the *minimum* across the
+    /// per-rank allocators of [`ServingEngine::kv_shards`] — one exhausted
+    /// rank stalls admission exactly like real hardware. Non-paged engines
+    /// lose ~40% of the region to fragmentation and static
+    /// over-reservation.
     pub fn kv_capacity_tokens(&self) -> u64 {
-        let cache = PagedKvCache::new(
-            self.plan.kv_bytes,
-            self.model.dims().kv_bytes_per_token() / self.cluster.tp() as u64,
-        );
-        let raw = cache.capacity_tokens();
+        let raw = self.kv_shards().capacity_tokens();
         if self.kind.paged_kv() {
             raw
         } else {
@@ -710,6 +916,49 @@ mod tests {
         let clone = engine.clone();
         assert_eq!(clone.policy().name(), engine.policy().name());
         assert_eq!(clone.kv_capacity_tokens(), engine.kv_capacity_tokens());
+    }
+
+    #[test]
+    fn builder_tp_pp_axes_match_explicit_clusters() {
+        let via_axes = ServingEngine::builder()
+            .model(LlmModel::Llama31_70b)
+            .cluster(GpuCluster::single(Gpu::L40s))
+            .tp(4)
+            .pp(2)
+            .build();
+        let via_cluster = ServingEngine::builder()
+            .model(LlmModel::Llama31_70b)
+            .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2))
+            .build();
+        assert_eq!(via_axes.cluster(), via_cluster.cluster());
+        assert_eq!(via_axes.kv_capacity_tokens(), via_cluster.kv_capacity_tokens());
+        assert_eq!(
+            via_axes.decode_step(32, 1024),
+            via_cluster.decode_step(32, 1024)
+        );
+        assert_eq!(via_axes.micro_batches(), 4, "default 2 x pp");
+        let deep = ServingEngine::builder()
+            .model(LlmModel::Llama31_70b)
+            .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2))
+            .micro_batches(8)
+            .build();
+        assert_eq!(deep.micro_batches(), 8);
+    }
+
+    #[test]
+    fn kv_shards_cover_the_grid_and_agree_with_capacity() {
+        let engine = ServingEngine::builder()
+            .model(LlmModel::Llama31_70b)
+            .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2))
+            .build();
+        let shards = engine.kv_shards();
+        assert_eq!(shards.ranks(), 8);
+        assert_eq!(shards.capacity_tokens(), engine.kv_capacity_tokens());
+        // Non-paged engines still apply the fragmentation haircut on top.
+        let eager = ServingEngine::builder()
+            .kind(EngineKind::Transformers)
+            .build();
+        assert!(eager.kv_capacity_tokens() < eager.kv_shards().capacity_tokens());
     }
 
     #[test]

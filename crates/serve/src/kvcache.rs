@@ -18,6 +18,8 @@ pub enum KvError {
     OutOfPages,
     /// The sequence id is not registered.
     UnknownSequence,
+    /// The sequence id is already registered (fork targets must be fresh).
+    SequenceExists,
 }
 
 impl core::fmt::Display for KvError {
@@ -25,6 +27,7 @@ impl core::fmt::Display for KvError {
         match self {
             KvError::OutOfPages => write!(f, "KV cache out of pages"),
             KvError::UnknownSequence => write!(f, "unknown sequence id"),
+            KvError::SequenceExists => write!(f, "sequence id already registered"),
         }
     }
 }
@@ -94,9 +97,7 @@ impl PagedKvCache {
     /// [`KvError::OutOfPages`] if the cache is exhausted (nothing is
     /// allocated in that case).
     pub fn append(&mut self, seq: u64, tokens: u64) -> Result<(), KvError> {
-        let state = self.tables.get(&seq).ok_or(KvError::UnknownSequence)?;
-        let have_slots = state.pages.len() as u64 * PAGE_TOKENS - state.tokens;
-        let need_pages = tokens.saturating_sub(have_slots).div_ceil(PAGE_TOKENS);
+        let need_pages = self.pages_needed(seq, tokens)?;
         if need_pages > self.free_list.len() as u64 {
             return Err(KvError::OutOfPages);
         }
@@ -117,8 +118,13 @@ impl PagedKvCache {
     ///
     /// # Errors
     ///
-    /// [`KvError::UnknownSequence`] if the parent is unregistered.
+    /// [`KvError::UnknownSequence`] if the parent is unregistered;
+    /// [`KvError::SequenceExists`] if the child id is already taken
+    /// (silently overwriting it would leak the pages it holds).
     pub fn fork(&mut self, parent: u64, child: u64) -> Result<(), KvError> {
+        if self.tables.contains_key(&child) {
+            return Err(KvError::SequenceExists);
+        }
         let state = self
             .tables
             .get(&parent)
@@ -163,6 +169,139 @@ impl PagedKvCache {
     pub fn max_batch(&self, seq_len: u64) -> u64 {
         let pages_per_seq = seq_len.div_ceil(PAGE_TOKENS).max(1);
         self.total_pages / pages_per_seq
+    }
+
+    /// Free pages needed to append `tokens` slots to `seq` without
+    /// mutating anything (the check half of [`PagedKvCache::append`]).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::UnknownSequence`] if unregistered.
+    pub fn pages_needed(&self, seq: u64, tokens: u64) -> Result<u64, KvError> {
+        let state = self.tables.get(&seq).ok_or(KvError::UnknownSequence)?;
+        let have_slots = state.pages.len() as u64 * PAGE_TOKENS - state.tokens;
+        Ok(tokens.saturating_sub(have_slots).div_ceil(PAGE_TOKENS))
+    }
+}
+
+/// The KV cache of a whole tensor/pipeline-parallel deployment: one
+/// [`PagedKvCache`] per rank.
+///
+/// Every rank stores its slice of every sequence's KV (its share of the
+/// heads within a stage, its stage's layers across stages), so every
+/// allocator operation is mirrored to all ranks — and an
+/// [`OutOfPages`](KvError::OutOfPages) on *any* rank fails the whole
+/// operation, exactly as one exhausted GPU stalls admission on real
+/// hardware. Mirrored appends are atomic: either every rank allocates or
+/// none does.
+///
+/// Ranks need not be symmetric: when `kv_heads % tp != 0` or
+/// `layers % pp != 0`, some ranks carry more bytes per token and run out
+/// of pages first; [`KvShards::capacity_tokens`] is therefore the *minimum*
+/// over ranks.
+#[derive(Debug, Clone)]
+pub struct KvShards {
+    shards: Vec<PagedKvCache>,
+}
+
+impl KvShards {
+    /// Wraps explicit per-rank allocators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<PagedKvCache>) -> Self {
+        assert!(!shards.is_empty(), "deployment needs at least one rank");
+        KvShards { shards }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read-only view of one rank's allocator.
+    pub fn rank(&self, idx: usize) -> &PagedKvCache {
+        &self.shards[idx]
+    }
+
+    /// Deployment-wide token capacity: the minimum across ranks (the first
+    /// rank to exhaust its pages stalls every other rank).
+    pub fn capacity_tokens(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.capacity_tokens())
+            .min()
+            .expect("non-empty")
+    }
+
+    /// Registers a sequence on every rank.
+    pub fn register(&mut self, seq: u64) {
+        for s in &mut self.shards {
+            s.register(seq);
+        }
+    }
+
+    /// Appends `tokens` slots to `seq` on every rank, atomically: if any
+    /// rank would run out of pages, *no* rank allocates.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::UnknownSequence`] if unregistered on any rank;
+    /// [`KvError::OutOfPages`] if any rank lacks free pages.
+    pub fn append(&mut self, seq: u64, tokens: u64) -> Result<(), KvError> {
+        for s in &self.shards {
+            if s.pages_needed(seq, tokens)? > s.free_pages() {
+                return Err(KvError::OutOfPages);
+            }
+        }
+        for s in &mut self.shards {
+            s.append(seq, tokens).expect("checked every rank above");
+        }
+        Ok(())
+    }
+
+    /// Copy-on-write fork on every rank, atomically: every rank must know
+    /// the parent and have the child id free before any rank mutates.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::UnknownSequence`] if the parent is unregistered on any
+    /// rank; [`KvError::SequenceExists`] if the child id is taken on any.
+    pub fn fork(&mut self, parent: u64, child: u64) -> Result<(), KvError> {
+        for s in &self.shards {
+            if s.tables.contains_key(&child) {
+                return Err(KvError::SequenceExists);
+            }
+            if !s.tables.contains_key(&parent) {
+                return Err(KvError::UnknownSequence);
+            }
+        }
+        for s in &mut self.shards {
+            s.fork(parent, child).expect("checked every rank above");
+        }
+        Ok(())
+    }
+
+    /// Releases a sequence on every rank, atomically: every rank must know
+    /// the sequence before any rank frees it.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::UnknownSequence`] if unregistered on any rank.
+    pub fn release(&mut self, seq: u64) -> Result<(), KvError> {
+        if self.shards.iter().any(|s| !s.tables.contains_key(&seq)) {
+            return Err(KvError::UnknownSequence);
+        }
+        for s in &mut self.shards {
+            s.release(seq).expect("checked every rank above");
+        }
+        Ok(())
+    }
+
+    /// Tokens stored for a sequence (identical on every rank).
+    pub fn tokens(&self, seq: u64) -> Option<u64> {
+        self.shards[0].tokens(seq)
     }
 }
 
@@ -247,6 +386,138 @@ mod tests {
         // 100 pages, 160-token sequences need 10 pages each.
         assert_eq!(c.max_batch(160), 10);
         assert_eq!(c.max_batch(1), 100);
+    }
+
+    #[test]
+    fn fork_refcounts_survive_any_release_order() {
+        // Satellite coverage: CoW refcount decrement on free and
+        // shared-page release ordering — child released before parent,
+        // parent before child, and a grandchild chain.
+        let mut c = cache_with_pages(8);
+        c.register(1);
+        c.append(1, 40).unwrap(); // 3 pages
+        c.fork(1, 2).unwrap();
+        c.fork(2, 3).unwrap(); // grandchild shares the same 3 pages
+        assert_eq!(c.free_pages(), 5);
+        // Child-first release: pages stay alive for parent + grandchild.
+        c.release(2).unwrap();
+        assert_eq!(c.free_pages(), 5, "shared pages must not be freed early");
+        // Parent next: grandchild still holds every page.
+        c.release(1).unwrap();
+        assert_eq!(c.free_pages(), 5);
+        assert_eq!(c.block_table(3).unwrap().len(), 3);
+        // Last owner frees everything.
+        c.release(3).unwrap();
+        assert_eq!(c.free_pages(), 8);
+    }
+
+    #[test]
+    fn forked_child_grows_privately() {
+        // Appends after a fork allocate fresh pages for the child only;
+        // the shared prefix stays shared.
+        let mut c = cache_with_pages(4);
+        c.register(1);
+        c.append(1, PAGE_TOKENS).unwrap(); // 1 full page
+        c.fork(1, 2).unwrap();
+        c.append(2, 1).unwrap(); // spills to a private page
+        assert_eq!(c.free_pages(), 2);
+        assert_eq!(c.block_table(1).unwrap().len(), 1);
+        assert_eq!(c.block_table(2).unwrap().len(), 2);
+        assert_eq!(c.block_table(1).unwrap()[0], c.block_table(2).unwrap()[0]);
+        // Releasing the parent keeps the shared page (child refs it) but
+        // releasing the child frees both shared and private pages.
+        c.release(1).unwrap();
+        assert_eq!(c.free_pages(), 2);
+        c.release(2).unwrap();
+        assert_eq!(c.free_pages(), 4);
+    }
+
+    #[test]
+    fn fork_error_paths_leave_state_untouched() {
+        let mut c = cache_with_pages(4);
+        c.register(1);
+        c.append(1, 20).unwrap(); // 2 pages
+        assert_eq!(c.fork(99, 100), Err(KvError::UnknownSequence));
+        assert_eq!(c.tokens(100), None, "failed fork must not register the child");
+        assert_eq!(c.free_pages(), 2);
+        // Forking onto a live id is refused — overwriting it would leak
+        // its pages (they would keep a positive refcount forever).
+        c.register(5);
+        c.append(5, 20).unwrap();
+        assert_eq!(c.fork(1, 5), Err(KvError::SequenceExists));
+        c.release(5).unwrap();
+        assert_eq!(c.free_pages(), 2, "refused fork must not leak pages");
+        // A forked child hitting OutOfPages on append is atomic too.
+        c.fork(1, 2).unwrap();
+        c.append(2, PAGE_TOKENS * 10).unwrap_err();
+        assert_eq!(c.tokens(2), Some(20), "failed append must not change tokens");
+        assert_eq!(c.free_pages(), 2);
+        // Double release of the same id is UnknownSequence, not a panic.
+        c.release(2).unwrap();
+        assert_eq!(c.release(2), Err(KvError::UnknownSequence));
+    }
+
+    #[test]
+    fn shards_mirror_operations_across_ranks() {
+        // Two symmetric ranks: every op lands on both.
+        let mut s = KvShards::new(vec![cache_with_pages(4), cache_with_pages(4)]);
+        assert_eq!(s.ranks(), 2);
+        assert_eq!(s.capacity_tokens(), 4 * PAGE_TOKENS);
+        s.register(7);
+        s.append(7, 20).unwrap();
+        assert_eq!(s.tokens(7), Some(20));
+        for r in 0..2 {
+            assert_eq!(s.rank(r).free_pages(), 2);
+        }
+        s.fork(7, 8).unwrap();
+        s.release(7).unwrap();
+        assert_eq!(s.tokens(7), None);
+        assert_eq!(s.tokens(8), Some(20));
+        s.release(8).unwrap();
+        for r in 0..2 {
+            assert_eq!(s.rank(r).free_pages(), 4);
+        }
+    }
+
+    #[test]
+    fn one_exhausted_rank_stalls_the_whole_deployment() {
+        // Asymmetric ranks (uneven head or layer split): the small rank
+        // runs out first, and the failed append must not leak pages on the
+        // big rank.
+        let mut s = KvShards::new(vec![cache_with_pages(2), cache_with_pages(8)]);
+        assert_eq!(s.capacity_tokens(), 2 * PAGE_TOKENS, "min across ranks");
+        s.register(1);
+        s.append(1, 2 * PAGE_TOKENS).unwrap();
+        assert_eq!(s.append(1, 1), Err(KvError::OutOfPages));
+        assert_eq!(s.rank(0).free_pages(), 0);
+        assert_eq!(s.rank(1).free_pages(), 6, "atomic: big rank untouched");
+        assert_eq!(s.tokens(1), Some(2 * PAGE_TOKENS));
+        // Errors surface uniformly for unknown sequences too.
+        assert_eq!(s.append(9, 1), Err(KvError::UnknownSequence));
+        assert_eq!(s.release(9), Err(KvError::UnknownSequence));
+        assert_eq!(s.fork(9, 10), Err(KvError::UnknownSequence));
+        assert_eq!(s.fork(1, 1), Err(KvError::SequenceExists));
+    }
+
+    #[test]
+    fn divergent_shard_sets_error_instead_of_panicking() {
+        // KvShards::new accepts caller-built allocators, so a sequence
+        // registered on only some ranks must surface as an error on every
+        // mirrored operation — never a panic, and never a partial mutation.
+        let mut lopsided = cache_with_pages(4);
+        lopsided.register(1);
+        lopsided.append(1, 16).unwrap();
+        let mut s = KvShards::new(vec![lopsided, cache_with_pages(4)]);
+        assert_eq!(s.release(1), Err(KvError::UnknownSequence));
+        assert_eq!(s.append(1, 1), Err(KvError::UnknownSequence));
+        assert_eq!(s.fork(1, 2), Err(KvError::UnknownSequence));
+        assert_eq!(s.rank(0).free_pages(), 3, "no partial mutation");
+        assert_eq!(s.rank(1).free_pages(), 4);
+        // Registering on all ranks heals the divergence for new ops.
+        s.register(1);
+        assert_eq!(s.rank(1).tokens(1), Some(0));
+        s.append(1, 1).unwrap();
+        s.release(1).unwrap();
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! The LLM serving substrate: everything §6.5's end-to-end comparison needs.
 //!
-//! * [`cluster`] — single- and multi-GPU deployment descriptions;
+//! * [`cluster`] — single- and multi-GPU deployment descriptions: `tp × pp`
+//!   grids with per-link bandwidths and per-stage layer assignment;
 //! * [`kvcache`] — a PagedAttention-style block allocator (real data
-//!   structure: pages, block tables, alloc/free/fork);
+//!   structure: pages, block tables, alloc/free/fork), plus the per-rank
+//!   [`kvcache::KvShards`] mirror where one exhausted rank stalls the
+//!   deployment;
 //! * [`attention`] — the decode/prefill attention cost model;
-//! * [`parallel`] — tensor-parallel sharding and ring all-reduce;
-//! * [`memory`] — the device memory plan (weights vs KV cache vs runtime),
-//!   reproducing Figure 17's breakdown;
+//! * [`parallel`] — tensor-parallel sharding, ring all-reduce, and
+//!   GPipe-style pipeline micro-batching with bubble accounting;
+//! * [`memory`] — the per-rank device memory plan (weights vs KV cache vs
+//!   runtime), reproducing Figure 17's breakdown per pipeline stage;
 //! * [`engine`] — the four serving engines of Figure 16: ZipServ, a
 //!   vLLM-like baseline, a Transformers-like eager baseline, and a
 //!   DFloat11-like decoupled-decompression engine;
@@ -37,6 +41,8 @@ pub mod workload;
 
 pub use cluster::GpuCluster;
 pub use engine::{EngineBuilder, EngineKind, ServingEngine};
+pub use kvcache::{KvError, KvShards, PagedKvCache};
+pub use parallel::PipelineSchedule;
 pub use policy::{
     Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,
 };

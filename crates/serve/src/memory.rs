@@ -38,42 +38,87 @@ pub struct MemoryPlan {
 }
 
 impl MemoryPlan {
-    /// Plans memory for `model` on `cluster` with the given weight format.
-    /// KV gets everything left after weights and runtime overhead.
+    /// Plans memory for `model` on `cluster` with the given weight format:
+    /// the plan of the *bottleneck rank* — the pipeline stage whose weight
+    /// slice leaves the least KV headroom. With `pp == 1` (every deployment
+    /// before pipeline parallelism existed) this is exactly the historical
+    /// single-plan computation, byte for byte.
     ///
     /// # Panics
     ///
-    /// Panics if the weights alone exceed device capacity.
+    /// Panics if any rank's weights alone exceed device capacity.
     pub fn plan(model: LlmModel, cluster: &GpuCluster, format: WeightFormat) -> MemoryPlan {
+        Self::plan_stages(model, cluster, format)
+            .into_iter()
+            .min_by_key(|p| p.kv_bytes)
+            .expect("at least one stage")
+    }
+
+    /// Plans memory for every pipeline stage of the deployment, in stage
+    /// order. Each stage's `tp` ranks are identical (weights shard evenly),
+    /// so one plan per stage describes all of its ranks. Stage 0 holds the
+    /// embedding table, the last stage the LM head; transformer blocks
+    /// follow [`GpuCluster::stage_layers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage's weights alone exceed device capacity.
+    pub fn plan_stages(
+        model: LlmModel,
+        cluster: &GpuCluster,
+        format: WeightFormat,
+    ) -> Vec<MemoryPlan> {
         let dims = model.dims();
-        let raw_per_gpu = dims.weight_bytes_bf16() / cluster.tp() as u64;
-        let weight_bytes = match format {
-            WeightFormat::Dense => raw_per_gpu,
-            WeightFormat::Compressed { fraction } => {
-                // Compressed arrays plus one dense scratch buffer sized for
-                // the largest layer (the prefill decoupled path, §4.4).
-                let largest_layer = LayerKind::ALL
-                    .iter()
-                    .map(|l| {
-                        let (m, k) = l.weight_dims(&dims);
-                        2 * m * k / cluster.tp() as u64
-                    })
-                    .max()
-                    .expect("layers exist");
-                (raw_per_gpu as f64 * fraction) as u64 + largest_layer
-            }
-        };
-        let capacity = cluster.dram_bytes_per_gpu();
-        assert!(
-            weight_bytes + RUNTIME_OVERHEAD_BYTES < capacity,
-            "model does not fit: {weight_bytes} weights on {capacity} capacity"
-        );
-        MemoryPlan {
-            weight_bytes,
-            kv_bytes: capacity - weight_bytes - RUNTIME_OVERHEAD_BYTES,
-            runtime_bytes: RUNTIME_OVERHEAD_BYTES,
-            capacity_bytes: capacity,
-        }
+        let tp = cluster.tp() as u64;
+        let stages = cluster.stage_layers(dims.layers);
+        let last = stages.len() - 1;
+        stages
+            .iter()
+            .enumerate()
+            .map(|(s, &stage_layers)| {
+                // Embedding on the first stage, LM head on the last (both on
+                // the sole stage when pp == 1, reproducing the old plan).
+                let mut raw = 2 * stage_layers * dims.block_linear_elements();
+                if s == 0 {
+                    raw += 2 * dims.vocab * dims.hidden;
+                }
+                if s == last {
+                    raw += 2 * dims.vocab * dims.hidden;
+                }
+                let raw_per_rank = raw / tp;
+                let weight_bytes = match format {
+                    WeightFormat::Dense => raw_per_rank,
+                    WeightFormat::Compressed { fraction } => {
+                        // Compressed arrays plus one dense scratch buffer
+                        // sized for the largest layer resident on this stage
+                        // (the prefill decoupled path, §4.4).
+                        let largest_layer = LayerKind::ALL
+                            .iter()
+                            .filter(|l| !matches!(l, LayerKind::LmHead) || s == last)
+                            .map(|l| {
+                                let (m, k) = l.weight_dims(&dims);
+                                2 * m * k / tp
+                            })
+                            .max()
+                            .expect("layers exist");
+                        (raw_per_rank as f64 * fraction) as u64 + largest_layer
+                    }
+                };
+                let capacity = cluster.dram_bytes_per_gpu();
+                assert!(
+                    weight_bytes + RUNTIME_OVERHEAD_BYTES < capacity,
+                    "model does not fit: {weight_bytes} weights on {capacity} capacity \
+                     (stage {s} of {})",
+                    stages.len()
+                );
+                MemoryPlan {
+                    weight_bytes,
+                    kv_bytes: capacity - weight_bytes - RUNTIME_OVERHEAD_BYTES,
+                    runtime_bytes: RUNTIME_OVERHEAD_BYTES,
+                    capacity_bytes: capacity,
+                }
+            })
+            .collect()
     }
 
     /// KV capacity in tokens for `model` (per GPU shard of the cache).
@@ -132,6 +177,62 @@ mod tests {
         let plan = MemoryPlan::plan(LlmModel::Mistral24b, &c2, WeightFormat::Dense);
         let full = LlmModel::Mistral24b.dims().weight_bytes_bf16();
         assert_eq!(plan.weight_bytes, full / 2);
+    }
+
+    #[test]
+    fn single_stage_plan_matches_legacy_formula() {
+        // pp=1 must reproduce the historical computation byte for byte:
+        // raw weights / tp, compressed fraction plus one scratch layer.
+        for tp in [1u32, 2] {
+            let cluster = GpuCluster::tensor_parallel(Gpu::L40s, tp);
+            for format in [WeightFormat::Dense, WeightFormat::Compressed { fraction: 0.715 }] {
+                let plan = MemoryPlan::plan(LlmModel::Mistral24b, &cluster, format);
+                let raw = LlmModel::Mistral24b.dims().weight_bytes_bf16() / tp as u64;
+                match format {
+                    WeightFormat::Dense => assert_eq!(plan.weight_bytes, raw),
+                    WeightFormat::Compressed { fraction } => {
+                        assert!(plan.weight_bytes > (raw as f64 * fraction) as u64);
+                        assert!(plan.weight_bytes < raw);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_stages_split_weights_and_grow_kv() {
+        // LLaMA3.1-70B on a 4×2 TP×PP grid: each stage holds half the
+        // layers, so each rank carries less weight than pure TP=4 and the
+        // freed bytes become KV headroom.
+        let tp4 = GpuCluster::tensor_parallel(Gpu::L40s, 4);
+        let grid = GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2);
+        let stages = MemoryPlan::plan_stages(LlmModel::Llama31_70b, &grid, WeightFormat::Dense);
+        assert_eq!(stages.len(), 2);
+        let tp_plan = MemoryPlan::plan(LlmModel::Llama31_70b, &tp4, WeightFormat::Dense);
+        for s in &stages {
+            assert!(s.weight_bytes < tp_plan.weight_bytes, "stage slice is smaller");
+            assert!(s.kv_bytes > tp_plan.kv_bytes, "freed weights become KV");
+        }
+        // The bottleneck plan is the min-KV stage.
+        let plan = MemoryPlan::plan(LlmModel::Llama31_70b, &grid, WeightFormat::Dense);
+        assert_eq!(
+            plan.kv_bytes,
+            stages.iter().map(|s| s.kv_bytes).min().expect("stages")
+        );
+    }
+
+    #[test]
+    fn uneven_layer_split_loads_early_stages() {
+        // 32 layers over 3 stages: 11/11/10 — stage 0 (extra layer plus the
+        // embedding table) is the weight bottleneck, and the middle stage
+        // (no embedding, no LM head) is the lightest.
+        let grid = GpuCluster::pipeline_parallel(Gpu::Rtx4090, 1, 3);
+        let stages = MemoryPlan::plan_stages(LlmModel::Llama31_8b, &grid, WeightFormat::Dense);
+        assert_eq!(stages.len(), 3);
+        let max = stages.iter().map(|s| s.weight_bytes).max().expect("stages");
+        let min = stages.iter().map(|s| s.weight_bytes).min().expect("stages");
+        assert_eq!(stages[0].weight_bytes, max);
+        assert_eq!(stages[1].weight_bytes, min);
     }
 
     #[test]

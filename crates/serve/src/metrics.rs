@@ -6,9 +6,18 @@ use crate::policy::PriorityClass;
 use crate::scheduler::Completion;
 use serde::Serialize;
 
-/// Percentile (`q` in `[0, 1]`) of a finite sample, nearest-rank on the
-/// sorted values. Returns `None` for an empty sample instead of panicking —
-/// the scheduler's report methods all route through here.
+/// Percentile (`q` in `[0, 1]`) of a finite sample, nearest-rank (ceil
+/// convention) on the sorted values: the smallest value with at least
+/// `q · n` of the sample at or below it. Returns `None` for an empty sample
+/// instead of panicking — the scheduler's report methods all route through
+/// here.
+///
+/// The previous implementation `round()`ed the rank, which biased small
+/// samples upward: the p50 of two elements picked the *upper* one, and p90
+/// over a handful of requests collapsed onto the max one sample earlier
+/// than nearest-rank prescribes. The ceil convention is the standard
+/// nearest-rank definition (and what NumPy's `method="inverted_cdf"`
+/// computes).
 ///
 /// # Panics
 ///
@@ -20,8 +29,9 @@ pub fn percentile(values: impl IntoIterator<Item = f64>, q: f64) -> Option<f64> 
         return None;
     }
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let idx = ((v.len() - 1) as f64 * q).round() as usize;
-    Some(v[idx])
+    // 1-based nearest rank, clamped to [1, n] so q = 0 reads the minimum.
+    let rank = (q * v.len() as f64).ceil() as usize;
+    Some(v[rank.clamp(1, v.len()) - 1])
 }
 
 /// Fraction of SLO-carrying completions that met their SLO, or `None` when
@@ -98,6 +108,8 @@ pub struct StepBreakdown {
     pub decompression_ms: f64,
     /// Tensor-parallel all-reduces.
     pub allreduce_ms: f64,
+    /// Inter-stage activation hops (pipeline-parallel deployments only).
+    pub p2p_ms: f64,
     /// Everything else (sampling, scheduling, kernel glue).
     pub other_ms: f64,
 }
@@ -105,7 +117,19 @@ pub struct StepBreakdown {
 impl StepBreakdown {
     /// Total step latency.
     pub fn total_ms(&self) -> f64 {
-        self.linear_ms + self.attention_ms + self.decompression_ms + self.allreduce_ms + self.other_ms
+        self.linear_ms
+            + self.attention_ms
+            + self.decompression_ms
+            + self.allreduce_ms
+            + self.p2p_ms
+            + self.other_ms
+    }
+
+    /// Communication share of the step (all-reduce plus pipeline hops) —
+    /// the time the scheduler charges that a single-GPU deployment would
+    /// not pay.
+    pub fn comm_ms(&self) -> f64 {
+        self.allreduce_ms + self.p2p_ms
     }
 
     /// Fraction of the step spent in linear layers (paper: 83.6% for vLLM).
@@ -146,6 +170,7 @@ mod tests {
             attention_ms: 3.02,
             decompression_ms: 0.0,
             allreduce_ms: 0.0,
+            p2p_ms: 0.0,
             other_ms: 1.88,
         };
         assert!((b.total_ms() - 29.89).abs() < 1e-9);
@@ -154,9 +179,48 @@ mod tests {
     }
 
     #[test]
+    fn comm_share_sums_collectives_and_hops() {
+        let b = StepBreakdown {
+            linear_ms: 10.0,
+            attention_ms: 2.0,
+            decompression_ms: 0.0,
+            allreduce_ms: 1.5,
+            p2p_ms: 0.5,
+            other_ms: 1.0,
+        };
+        assert!((b.comm_ms() - 2.0).abs() < 1e-12);
+        assert!((b.total_ms() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_breakdown_is_zero() {
         let b = StepBreakdown::default();
         assert_eq!(b.total_ms(), 0.0);
         assert_eq!(b.linear_fraction(), 0.0);
+        assert_eq!(b.comm_ms(), 0.0);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank_ceil() {
+        // Small-N pins for the rank convention (the `.round()` regression):
+        // p50 of two elements is the LOWER one, not the upper.
+        assert_eq!(percentile([1.0, 2.0], 0.5), Some(1.0));
+        // Odd N: the true median.
+        assert_eq!(percentile([3.0, 1.0, 2.0], 0.5), Some(2.0));
+        // Four elements: p50 = 2nd, p90 = 4th (ceil(3.6) = 4).
+        assert_eq!(percentile([1.0, 2.0, 3.0, 4.0], 0.5), Some(2.0));
+        assert_eq!(percentile([1.0, 2.0, 3.0, 4.0], 0.9), Some(4.0));
+        // Ten elements: p90 = 9th (ceil(9.0) = 9), p99 = max.
+        let ten: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(percentile(ten.iter().copied(), 0.9), Some(9.0));
+        assert_eq!(percentile(ten.iter().copied(), 0.99), Some(10.0));
+        // 200 elements: p99 = 198th, no longer the max.
+        let big: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        assert_eq!(percentile(big.iter().copied(), 0.99), Some(198.0));
+        // Edges: q = 0 is the min, q = 1 the max; singleton is itself.
+        assert_eq!(percentile([5.0, 7.0], 0.0), Some(5.0));
+        assert_eq!(percentile([5.0, 7.0], 1.0), Some(7.0));
+        assert_eq!(percentile([42.0], 0.99), Some(42.0));
+        assert_eq!(percentile(std::iter::empty(), 0.5), None);
     }
 }

@@ -1,8 +1,11 @@
-//! Tensor-parallel sharding and all-reduce cost.
+//! Tensor- and pipeline-parallel execution modeling.
 //!
-//! Megatron-style sharding: column-parallel QKV/GateUp (shard `M`),
+//! Megatron-style tensor sharding: column-parallel QKV/GateUp (shard `M`),
 //! row-parallel O/Down (shard `K`), followed by one all-reduce of the
-//! activation after attention and one after the FFN.
+//! activation after attention and one after the FFN. GPipe-style pipeline
+//! parallelism: layers are split into stages, batches into micro-batches,
+//! and [`PipelineSchedule`] accounts the fill/drain bubble plus the
+//! per-hop activation transfers between stages.
 
 use crate::cluster::GpuCluster;
 use zipserv_gpu_sim::roofline::GemmShape;
@@ -51,6 +54,73 @@ pub fn block_allreduce_bytes(hidden: u64, tokens: u64) -> u64 {
     2 * 2 * hidden * tokens
 }
 
+/// Point-to-point transfer time in microseconds for one activation hop
+/// between adjacent pipeline stages (`bytes` over the inter-stage fabric,
+/// plus a fixed per-message latency). Zero when the deployment has a
+/// single stage.
+pub fn p2p_us(cluster: &GpuCluster, bytes: u64) -> f64 {
+    if cluster.pp() <= 1 {
+        return 0.0;
+    }
+    let bw_bytes_per_us = cluster.pp_link_gbps * 1e3;
+    bytes as f64 / bw_bytes_per_us + 5.0
+}
+
+/// BF16 activation bytes handed from one pipeline stage to the next for
+/// `tokens` tokens of hidden size `hidden`.
+pub fn stage_activation_bytes(hidden: u64, tokens: u64) -> u64 {
+    2 * hidden * tokens
+}
+
+/// A GPipe-style fill/drain pipeline schedule: `stages` pipeline stages
+/// processing `micro_batches` micro-batches.
+///
+/// With per-micro-batch stage time `t` and per-hop transfer `h`, the
+/// makespan is `(stages + micro_batches − 1) · (t + h)`: the first
+/// micro-batch fills the pipeline over `stages` slots and the remaining
+/// `micro_batches − 1` drain one slot apart. The idle fraction — the
+/// pipeline *bubble* — is `(stages − 1) / (stages + micro_batches − 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSchedule {
+    /// Pipeline stages (`pp`).
+    pub stages: u32,
+    /// Micro-batches per step.
+    pub micro_batches: u32,
+}
+
+impl PipelineSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either degree is zero.
+    pub fn new(stages: u32, micro_batches: u32) -> Self {
+        assert!(stages >= 1, "pipeline needs at least one stage");
+        assert!(micro_batches >= 1, "pipeline needs at least one micro-batch");
+        PipelineSchedule {
+            stages,
+            micro_batches,
+        }
+    }
+
+    /// Occupied time slots from first fill to last drain.
+    pub fn slots(&self) -> u32 {
+        self.stages + self.micro_batches - 1
+    }
+
+    /// Fraction of the makespan each stage sits idle waiting for the
+    /// pipeline to fill or drain.
+    pub fn bubble_fraction(&self) -> f64 {
+        (self.stages - 1) as f64 / self.slots() as f64
+    }
+
+    /// Makespan in the unit of `stage_time` for per-micro-batch stage time
+    /// `stage_time` and per-hop transfer `hop_time`.
+    pub fn makespan(&self, stage_time: f64, hop_time: f64) -> f64 {
+        self.slots() as f64 * (stage_time + hop_time)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +166,41 @@ mod tests {
     fn block_traffic() {
         // batch 32 × hidden 5120 × 2 bytes × 2 reductions = 655 KB.
         assert_eq!(block_allreduce_bytes(5120, 32), 655_360);
+    }
+
+    #[test]
+    fn p2p_zero_without_pipeline() {
+        let c = GpuCluster::tensor_parallel(Gpu::L40s, 4);
+        assert_eq!(p2p_us(&c, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn p2p_scales_with_bytes() {
+        let c = GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2);
+        let one = p2p_us(&c, 1 << 20);
+        assert!(one > 0.0);
+        assert!(p2p_us(&c, 4 << 20) > 2.0 * one);
+        // batch 32 × hidden 4096 × 2 bytes.
+        assert_eq!(stage_activation_bytes(4096, 32), 262_144);
+    }
+
+    #[test]
+    fn bubble_shrinks_with_more_micro_batches() {
+        let two = PipelineSchedule::new(4, 2);
+        let eight = PipelineSchedule::new(4, 8);
+        assert!(eight.bubble_fraction() < two.bubble_fraction());
+        assert_eq!(two.slots(), 5);
+        // Degenerate single stage: no bubble, makespan = m × stage time.
+        let flat = PipelineSchedule::new(1, 4);
+        assert_eq!(flat.bubble_fraction(), 0.0);
+        assert_eq!(flat.makespan(2.0, 0.0), 8.0);
+    }
+
+    #[test]
+    fn makespan_matches_gpipe_closed_form() {
+        // 4 stages, 8 micro-batches, 3 ms/stage + 1 ms/hop:
+        // (4 + 8 − 1) × 4 = 44 ms.
+        let s = PipelineSchedule::new(4, 8);
+        assert_eq!(s.makespan(3.0, 1.0), 44.0);
     }
 }

@@ -267,7 +267,9 @@ impl SchedulePolicy for Fcfs {
 /// Admission picks the queued request with the highest *effective* tier —
 /// the request's own [`PriorityClass`] promoted one rank per `aging_s`
 /// seconds of waiting, so a starving `Batch` request eventually competes
-/// with `Interactive` traffic. Ties fall back to FCFS. With `preemptive`
+/// with `Interactive` traffic. Within a tier, preempted victims get resume
+/// priority over fresh arrivals (they hold sunk prefill work); remaining
+/// ties fall back to FCFS. With `preemptive`
 /// set, an `Interactive` candidate that cannot fit may evict the running
 /// request with the lowest raw tier (ties: the one holding the most KV,
 /// so one eviction frees the most pages).
@@ -324,6 +326,10 @@ impl SchedulePolicy for Priority {
             .max_by(|(_, a), (_, b)| {
                 self.effective_rank(a, now)
                     .cmp(&self.effective_rank(b, now))
+                    // Resume priority: within a tier, a preempted victim
+                    // (who already holds sunk prefill work) beats fresh
+                    // arrivals.
+                    .then((a.preemptions > 0).cmp(&(b.preemptions > 0)))
                     // Lower arrival wins a tie, so compare reversed.
                     .then(
                         b.req
@@ -434,10 +440,15 @@ impl SchedulePolicy for SloEdf {
 
 /// Shortest-remaining-output-first with KV-cache-aware preemption.
 ///
-/// Admission picks the queued request with the fewest output tokens still
-/// to generate (resume-aware, so a preempted request near completion sorts
-/// ahead of a fresh long job). When the candidate cannot fit, the running
-/// request with the *most* remaining output is evicted — but only if it has
+/// Admission gives *resume priority* to preempted victims — a victim
+/// re-enters the batch before any fresh arrival, so a long job evicted
+/// once cannot starve behind an endless stream of short fresh jobs (the
+/// classic SJF pathology; pinned by the `preempted_victim_resumes_before_
+/// fresh_arrivals` regression). Among victims, and then among fresh
+/// arrivals, the fewest output tokens still to generate wins
+/// (resume-aware, so a preempted request near completion sorts ahead of a
+/// fresh long job). When the candidate cannot fit, the running request
+/// with the *most* remaining output is evicted — but only if it has
 /// strictly more remaining work than the candidate, which bounds thrash:
 /// every preemption strictly reduces the remaining work of the admitted
 /// side. The victim's KV pages are recovered per [`PreemptionMode`].
@@ -465,8 +476,11 @@ impl SchedulePolicy for PreemptiveSjf {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                a.remaining_output()
-                    .cmp(&b.remaining_output())
+                // Resume priority first: preempted victims re-enter before
+                // any fresh arrival (false sorts before true).
+                (a.preemptions == 0)
+                    .cmp(&(b.preemptions == 0))
+                    .then(a.remaining_output().cmp(&b.remaining_output()))
                     .then(
                         a.req
                             .arrival_s
@@ -555,6 +569,40 @@ mod tests {
         b.req = b.req.with_slo(Slo::new(2.0, 0.2));
         // b's deadline (3.0) beats a's (8.0) despite arriving later.
         assert_eq!(edf.select(&[a, b], &[], 1.5), Some(1));
+    }
+
+    #[test]
+    fn resumed_victims_outrank_fresh_arrivals() {
+        // SJF: a preempted victim with 100 tokens left beats a fresh job
+        // with 8 — remaining-output order alone would starve the victim
+        // behind an endless stream of short arrivals.
+        let sjf = PreemptiveSjf::default();
+        let mut victim = q(1, 0.0, 128, PriorityClass::Interactive);
+        victim.resume_generated = 28; // remaining 100
+        victim.preemptions = 1;
+        let fresh = q(2, 5.0, 8, PriorityClass::Batch);
+        assert_eq!(sjf.select(&[victim, fresh], &[], 6.0), Some(0));
+        // Without the preemption marker the short job wins as before.
+        let long = q(1, 0.0, 128, PriorityClass::Interactive);
+        assert_eq!(sjf.select(&[long, fresh], &[], 6.0), Some(1));
+
+        // Priority: resume priority breaks ties *within* a tier but never
+        // inverts tiers.
+        let p = Priority { aging_s: 1e9, preemptive: true };
+        let mut std_victim = q(3, 0.0, 64, PriorityClass::Standard);
+        std_victim.preemptions = 1;
+        let std_fresh = q(4, 0.0, 64, PriorityClass::Standard);
+        let interactive = q(5, 9.0, 64, PriorityClass::Interactive);
+        assert_eq!(
+            p.select(&[std_victim, std_fresh], &[], 10.0),
+            Some(0),
+            "same tier: victim first"
+        );
+        assert_eq!(
+            p.select(&[std_victim, interactive], &[], 10.0),
+            Some(1),
+            "higher tier still wins over a resumed lower tier"
+        );
     }
 
     #[test]

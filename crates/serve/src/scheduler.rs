@@ -99,6 +99,12 @@ pub struct ScheduleReport {
     pub throughput_tps: f64,
     /// Peak concurrent batch size observed.
     pub peak_batch: usize,
+    /// Decode-side communication time charged across the run (s): the
+    /// tensor-parallel all-reduce plus pipeline activation-hop share of
+    /// every decode step the scheduler billed. Zero on single-GPU
+    /// deployments; the legacy [`ContinuousBatcher::run_reference`] shim
+    /// predates comm accounting and always reports zero.
+    pub comm_s: f64,
     /// Total preemptions across the run.
     pub preemptions: u64,
     /// Ids of requests rejected outright because they can never fit the
@@ -234,11 +240,13 @@ pub fn poisson_arrivals(
 }
 
 /// Builds the final report shared by the generic and reference loops.
+#[allow(clippy::too_many_arguments)]
 fn finish_report(
     policy: &str,
     now: f64,
     output_tokens: u64,
     peak_batch: usize,
+    comm_s: f64,
     preemptions: u64,
     rejected: Vec<u64>,
     completions: Vec<Completion>,
@@ -251,6 +259,7 @@ fn finish_report(
             0.0
         },
         peak_batch,
+        comm_s,
         preemptions,
         rejected,
         policy: policy.to_string(),
@@ -284,9 +293,10 @@ fn complete(f: &RunningRequest, now: f64) -> Completion {
 ///    picks the next arrived request; a pick that does not fit may evict
 ///    policy-chosen victims (each request at most [`MAX_PREEMPTIONS`]
 ///    times). Fresh admissions pay their prefill; re-admissions pay a
-///    recompute prefill over `prompt + generated` tokens or a PCIe
-///    page-in/out round trip, per the policy's
-///    [`PreemptionMode`](crate::policy::PreemptionMode).
+///    recompute prefill over `prompt + generated` tokens, or — under
+///    [`PreemptionMode::PageOut`](crate::policy::PreemptionMode) — the
+///    PCIe page-in half of the swap (the page-out half was charged when
+///    the victim was evicted).
 /// 2. **Decode** — one step for the whole batch, costed by the engine's
 ///    analytic model (cached per `(batch, context-bucket)`).
 /// 3. **Retire** — finished requests leave the batch and record latency,
@@ -315,7 +325,9 @@ pub fn run_policy(
     let mut peak_batch = 0usize;
     let mut output_tokens = 0u64;
     let mut preemptions = 0u64;
-    let mut step_cache: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut comm_s = 0.0f64;
+    // Step times cached per (batch, context bucket): (total ms, comm ms).
+    let mut step_cache: HashMap<(u64, u64), (f64, f64)> = HashMap::new();
 
     // Worst-case KV demand if `cand` joins the current batch (same
     // whole-lifetime accounting as the legacy loop).
@@ -384,6 +396,16 @@ pub fn run_policy(
                 }
                 let victim = running.remove(vi);
                 preemptions += 1;
+                // Page-out preemption pays the host-bound PCIe transfer at
+                // eviction time — the victim's pages must land in host
+                // memory before the candidate can take them, delaying the
+                // whole engine *now*. The matching page-in is charged when
+                // the victim resumes. (The pre-split accounting lumped both
+                // transfers at resume, understating the eviction-side
+                // stall; pinned by `pageout_is_charged_at_both_ends`.)
+                if policy.preemption_mode() == PreemptionMode::PageOut {
+                    now += engine.kv_swap_s(victim.kv_tokens());
+                }
                 let back = QueuedRequest {
                     req: victim.req,
                     resume_generated: victim.generated,
@@ -417,7 +439,9 @@ pub fn run_policy(
                     PreemptionMode::Recompute => {
                         engine.prefill_ms(1, q.kv_tokens_on_admit()) / 1e3
                     }
-                    PreemptionMode::PageOut => 2.0 * engine.kv_swap_s(q.kv_tokens_on_admit()),
+                    // Page-in only: the outbound transfer was charged when
+                    // this request was evicted.
+                    PreemptionMode::PageOut => engine.kv_swap_s(q.kv_tokens_on_admit()),
                 }
             };
             running.push(RunningRequest {
@@ -442,10 +466,12 @@ pub fn run_policy(
             .sum::<u64>()
             / batch;
         let bucket = (mean_context / 256).max(1) * 256;
-        let ms = *step_cache
-            .entry((batch, bucket))
-            .or_insert_with(|| engine.decode_step(batch, bucket).total_ms());
+        let (ms, step_comm_ms) = *step_cache.entry((batch, bucket)).or_insert_with(|| {
+            let step = engine.decode_step(batch, bucket);
+            (step.total_ms(), step.comm_ms())
+        });
         now += ms / 1e3;
+        comm_s += step_comm_ms / 1e3;
         output_tokens += batch;
 
         // Advance and retire.
@@ -470,6 +496,7 @@ pub fn run_policy(
         now,
         output_tokens,
         peak_batch,
+        comm_s,
         preemptions,
         rejected,
         completions,
@@ -614,6 +641,7 @@ impl<'a> ContinuousBatcher<'a> {
             now,
             output_tokens,
             peak_batch,
+            0.0,
             0,
             Vec::new(),
             completions,
@@ -673,7 +701,7 @@ mod tests {
 
     #[test]
     fn empty_report_yields_none_not_panic() {
-        let report = finish_report("fcfs", 0.0, 0, 0, 0, Vec::new(), Vec::new());
+        let report = finish_report("fcfs", 0.0, 0, 0, 0.0, 0, Vec::new(), Vec::new());
         assert_eq!(report.latency_percentile(0.99), None);
         assert_eq!(report.ttft_percentile(0.5), None);
         assert_eq!(report.mean_queue_s(), None);

@@ -57,4 +57,35 @@ fn main() {
         vllm.throughput_tps,
         zip.throughput_tps / vllm.throughput_tps
     );
+
+    // The other two §6.5 deployments are tensor-parallel; the builder's
+    // `tp`/`pp` axes shard weights and KV per rank and charge the ring
+    // all-reduce (plus pipeline hops, if any) in every step.
+    println!("\nmulti-GPU deployments (ZipServ, batch 32 @ seq 1024):");
+    let deployments = [
+        (LlmModel::Mistral24b, 2u32, 1u32),
+        (LlmModel::Llama31_70b, 4, 1),
+        (LlmModel::Llama31_70b, 4, 2),
+    ];
+    for (model, tp, pp) in deployments {
+        let engine = ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(model)
+            .cluster(GpuCluster::single(Gpu::L40s))
+            .tp(tp)
+            .pp(pp)
+            .build();
+        let step = engine.decode_step(32, 1024);
+        println!(
+            "{:<14} on {}x{} (TP{tp} PP{pp}): step {:>6.2} ms, comm {:>5.2} ms \
+             ({:.0}% all-reduce + hops), KV capacity {} tokens",
+            model.name(),
+            engine.cluster().total_devices(),
+            engine.cluster().gpu.name(),
+            step.total_ms(),
+            step.comm_ms(),
+            100.0 * step.comm_ms() / step.total_ms(),
+            engine.kv_capacity_tokens(),
+        );
+    }
 }

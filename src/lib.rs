@@ -51,6 +51,6 @@ pub mod prelude {
     };
     pub use crate::serve::scheduler::{poisson_arrivals, Request, ScheduleReport};
     pub use crate::serve::workload::{ArrivalMix, TrafficClass, Workload};
-    pub use crate::serve::GpuCluster;
+    pub use crate::serve::{GpuCluster, KvShards, PagedKvCache, PipelineSchedule};
     pub use crate::tbe::{TbeCompressor, TbeMatrix};
 }
