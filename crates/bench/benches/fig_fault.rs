@@ -1,0 +1,73 @@
+//! Fault-injection and recovery race: the TP2 deployment serving the
+//! paper's mixed-priority trace clean, through a rank-failure/repair
+//! cycle, and under a seeded chaos plan.
+//!
+//! The printed `figures::fault_recovery()` table records the modeled
+//! outcomes — goodput, availability, retries, recompute work and the
+//! `FIG_FAULT` line the CI smoke check gates on — while the timed section
+//! records simulator cost per scenario so fault-path regressions show up
+//! in `BENCH_baseline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_gpu_sim::device::Gpu;
+use zipserv_kernels::shapes::LlmModel;
+use zipserv_serve::cluster::GpuCluster;
+use zipserv_serve::engine::{EngineKind, ServingEngine};
+use zipserv_serve::fault::{FaultPlan, RetryPolicy};
+use zipserv_serve::policy::Fcfs;
+use zipserv_serve::scheduler::run_policy_faulted;
+use zipserv_serve::workload::ArrivalMix;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fault_recovery());
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::tensor_parallel(Gpu::L40s, 2))
+        .build();
+    let arrivals = ArrivalMix::paper_mix().generate(12.0, 100, 37);
+    let retry = RetryPolicy::default();
+    let clean = run_policy_faulted(
+        &engine,
+        &Fcfs,
+        64,
+        arrivals.clone(),
+        &FaultPlan::default(),
+        &retry,
+    );
+    let scenarios: Vec<(&str, FaultPlan)> = vec![
+        ("clean", FaultPlan::default()),
+        (
+            "fail_repair",
+            FaultPlan::new()
+                .rank_fail(0.3 * clean.duration_s, 0)
+                .rank_repair(0.6 * clean.duration_s, 0),
+        ),
+        ("seeded_chaos", FaultPlan::seeded(7, clean.duration_s, 2)),
+    ];
+    let mut group = c.benchmark_group("fig_fault/online_100reqs");
+    group.sample_size(10);
+    for (label, plan) in &scenarios {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_policy_faulted(
+                    black_box(&engine),
+                    &Fcfs,
+                    64,
+                    arrivals.clone(),
+                    plan,
+                    &retry,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

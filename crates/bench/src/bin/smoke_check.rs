@@ -41,11 +41,13 @@ fn parse_bench_log(log: &str) -> HashMap<String, f64> {
     out
 }
 
-/// Parses the `FIG_TP_SCALING tp2=<x> tp4=<y>` line the fig_tp bench prints.
-fn parse_tp_scaling(log: &str) -> HashMap<String, f64> {
+/// Parses a machine-readable `<PREFIX> k1=<x> k2=<y>` line (the
+/// `FIG_TP_SCALING` line from the fig_tp bench, the `FIG_FAULT` line from
+/// fig_fault) into its key/value pairs.
+fn parse_kv_line(log: &str, prefix: &str) -> HashMap<String, f64> {
     let mut out = HashMap::new();
     for line in log.lines() {
-        let Some(rest) = line.strip_prefix("FIG_TP_SCALING ") else {
+        let Some(rest) = line.strip_prefix(prefix) else {
             continue;
         };
         for kv in rest.split_whitespace() {
@@ -113,7 +115,8 @@ fn main() -> ExitCode {
     let log = std::fs::read_to_string(&log_path).expect("bench log readable");
     let baseline = std::fs::read_to_string(&baseline_path).expect("baseline readable");
     let means = parse_bench_log(&log);
-    let tp = parse_tp_scaling(&log);
+    let tp = parse_kv_line(&log, "FIG_TP_SCALING ");
+    let fault = parse_kv_line(&log, "FIG_FAULT ");
 
     let log_ratio = |num: &str, den: &str| -> Option<f64> {
         Some(means.get(num)? / means.get(den)?)
@@ -160,11 +163,13 @@ fn main() -> ExitCode {
             _ => missing.push(name),
         }
     }
-    for (name, key) in [
-        ("fig_tp_scaling_tp2", "tp2"),
-        ("fig_tp_scaling_tp4", "tp4"),
+    for (name, key, source) in [
+        ("fig_tp_scaling_tp2", "tp2", &tp),
+        ("fig_tp_scaling_tp4", "tp4", &tp),
+        ("fig_fault_goodput_ratio", "goodput_ratio", &fault),
+        ("fig_fault_availability", "availability", &fault),
     ] {
-        match (tp.get(key), baseline_number(&baseline, name)) {
+        match (source.get(key), baseline_number(&baseline, name)) {
             (Some(&current), Some(baseline)) => checks.push(Check {
                 name,
                 current,
@@ -207,13 +212,17 @@ mod tests {
 
     #[test]
     fn parses_bench_lines_and_scaling() {
-        let log = "a/b/c        123.4 ns/iter   55.0 Melem/s\nnot a bench line\nFIG_TP_SCALING tp2=1.5 tp4=2.0\n";
+        let log = "a/b/c        123.4 ns/iter   55.0 Melem/s\nnot a bench line\n\
+                   FIG_TP_SCALING tp2=1.5 tp4=2.0\nFIG_FAULT goodput_ratio=0.8123 availability=0.9511\n";
         let means = parse_bench_log(log);
         assert_eq!(means.get("a/b/c"), Some(&123.4));
         assert_eq!(means.len(), 1);
-        let tp = parse_tp_scaling(log);
+        let tp = parse_kv_line(log, "FIG_TP_SCALING ");
         assert_eq!(tp.get("tp2"), Some(&1.5));
         assert_eq!(tp.get("tp4"), Some(&2.0));
+        let fault = parse_kv_line(log, "FIG_FAULT ");
+        assert_eq!(fault.get("goodput_ratio"), Some(&0.8123));
+        assert_eq!(fault.get("availability"), Some(&0.9511));
     }
 
     #[test]

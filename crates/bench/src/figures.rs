@@ -767,6 +767,87 @@ pub fn tp_parallel() -> String {
     out
 }
 
+/// Fault injection and recovery: the same mixed-priority trace on the TP2
+/// deployment, clean vs a mid-run rank failure (with and without repair),
+/// a degraded-link window, and a seeded chaos plan — reporting goodput,
+/// availability, retries and recompute work.
+///
+/// Prints a machine-readable `FIG_FAULT` line (faulted-vs-clean goodput
+/// ratio and availability under the fail+repair scenario) consumed by the
+/// CI smoke check; both numbers are deterministic model outputs, so the
+/// gate is symmetric like `FIG_TP_SCALING`.
+pub fn fault_recovery() -> String {
+    use zipserv_serve::fault::{FaultPlan, RetryPolicy};
+    use zipserv_serve::policy::Fcfs;
+    use zipserv_serve::scheduler::run_policy_faulted;
+    use zipserv_serve::workload::ArrivalMix;
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::tensor_parallel(Gpu::L40s, 2))
+        .build();
+    let arrivals = ArrivalMix::paper_mix().generate(12.0, 100, 37);
+    let retry = RetryPolicy::default();
+    let run = |plan: &FaultPlan| run_policy_faulted(&engine, &Fcfs, 64, arrivals.clone(), plan, &retry);
+    let clean = run(&FaultPlan::default());
+    let (fail_at, repair_at) = (0.3 * clean.duration_s, 0.6 * clean.duration_s);
+    let scenarios: Vec<(&str, FaultPlan)> = vec![
+        ("clean", FaultPlan::default()),
+        (
+            "rank fail + repair",
+            FaultPlan::new().rank_fail(fail_at, 0).rank_repair(repair_at, 0),
+        ),
+        ("rank fail, no repair", FaultPlan::new().rank_fail(fail_at, 0)),
+        (
+            "link degrade 4x",
+            FaultPlan::new().link_degrade(fail_at, 4.0, repair_at - fail_at),
+        ),
+        ("seeded chaos (7)", FaultPlan::seeded(7, clean.duration_s, 2)),
+    ];
+    let mut rows = Vec::new();
+    let mut recovered = None;
+    for (label, plan) in &scenarios {
+        let r = run(plan);
+        rows.push(vec![
+            label.to_string(),
+            r.completions.len().to_string(),
+            r.rejections.len().to_string(),
+            f2(r.goodput_tps()),
+            pct(r.availability()),
+            r.robustness.retries.to_string(),
+            r.robustness.recomputed_tokens.to_string(),
+            r.robustness
+                .mean_time_to_recover_s()
+                .map_or("-".to_string(), f2),
+            f2(r.duration_s),
+        ]);
+        if *label == "rank fail + repair" {
+            recovered = Some(r);
+        }
+    }
+    let recovered = recovered.expect("scenario list names the recovery run");
+    format!(
+        "Fault injection & recovery — ZipServ TP2 (2xL40S, LLaMA3.1-8B), paper mix (12 req/s, 100 reqs):\n{}\
+         FIG_FAULT goodput_ratio={:.4} availability={:.4}\n",
+        render(
+            &[
+                "scenario",
+                "done",
+                "rej",
+                "goodput t/s",
+                "avail",
+                "retries",
+                "recomp tok",
+                "TTR (s)",
+                "dur (s)",
+            ],
+            &rows
+        ),
+        recovered.goodput_tps() / clean.goodput_tps(),
+        recovered.availability(),
+    )
+}
+
 /// §7 extension: lossless KV-cache compression with per-page bases.
 pub fn kv_compression() -> String {
     use zipserv_core::kv::{KvCompressionStats, KvPageCodec};
@@ -872,6 +953,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("online", online),
         ("sched", sched),
         ("tp", tp_parallel),
+        ("fault", fault_recovery),
         ("kv", kv_compression),
         ("prefill", prefill_overlap),
         ("quant", quant_stack),

@@ -365,6 +365,10 @@ pub struct HuffmanBlob {
     table_lengths: [u8; 256],
     payload: Vec<u8>,
     n_symbols: usize,
+    /// FNV-1a checksum of the raw input ([`crate::checksum64`]), verified
+    /// after every decode so corrupted frames surface as
+    /// [`CodecError::ChecksumMismatch`] instead of silently wrong bytes.
+    checksum: u64,
 }
 
 impl HuffmanBlob {
@@ -387,6 +391,7 @@ impl HuffmanBlob {
             table_lengths: table.to_lengths(),
             payload: w.into_bytes(),
             n_symbols: data.len(),
+            checksum: crate::checksum64(data),
         })
     }
 
@@ -394,7 +399,8 @@ impl HuffmanBlob {
     ///
     /// # Errors
     ///
-    /// Returns a [`CodecError`] if the payload is truncated or corrupt.
+    /// Returns a [`CodecError`] if the payload is truncated or corrupt, or
+    /// [`CodecError::ChecksumMismatch`] if it decodes to the wrong bytes.
     pub fn decompress(&self) -> Result<Vec<u8>, CodecError> {
         let table = HuffmanTable::from_lengths(self.table_lengths)?;
         let mut r = BitReader::new(&self.payload);
@@ -403,6 +409,7 @@ impl HuffmanBlob {
             let (sym, _) = table.decode_symbol(&mut r)?;
             out.push(sym);
         }
+        crate::verify_checksum(&out, self.checksum)?;
         Ok(out)
     }
 
@@ -411,7 +418,8 @@ impl HuffmanBlob {
     ///
     /// # Errors
     ///
-    /// Returns a [`CodecError`] if the payload is truncated or corrupt.
+    /// Returns a [`CodecError`] if the payload is truncated or corrupt, or
+    /// [`CodecError::ChecksumMismatch`] if it decodes to the wrong bytes.
     pub fn decompress_fast(&self) -> Result<Vec<u8>, CodecError> {
         let lut = LutDecoder::new(HuffmanTable::from_lengths(self.table_lengths)?);
         let mut r = BitReader::new(&self.payload);
@@ -420,14 +428,16 @@ impl HuffmanBlob {
             let (sym, _) = lut.decode_symbol(&mut r)?;
             out.push(sym);
         }
+        crate::verify_checksum(&out, self.checksum)?;
         Ok(out)
     }
 
-    /// Compression statistics (payload + 256-byte table + 8-byte count).
+    /// Compression statistics (payload + 256-byte table + 8-byte count +
+    /// 8-byte checksum).
     pub fn stats(&self) -> CompressionStats {
         CompressionStats {
             raw_bytes: self.n_symbols,
-            compressed_bytes: self.payload.len() + 256 + 8,
+            compressed_bytes: self.payload.len() + 256 + 8 + 8,
         }
     }
 }
@@ -525,6 +535,9 @@ pub struct ChunkedHuffman {
     payload: Vec<u8>,
     n_symbols: usize,
     chunk_symbols: usize,
+    /// FNV-1a checksum of the raw input, verified after decode (see
+    /// [`HuffmanBlob`]).
+    checksum: u64,
 }
 
 impl ChunkedHuffman {
@@ -563,6 +576,7 @@ impl ChunkedHuffman {
             payload,
             n_symbols: data.len(),
             chunk_symbols,
+            checksum: crate::checksum64(data),
         })
     }
 
@@ -602,6 +616,7 @@ impl ChunkedHuffman {
             }
             chunk_bits.push(bits);
         }
+        crate::verify_checksum(&out, self.checksum)?;
         let trace = DecodeTrace {
             length_histogram,
             symbols: self.n_symbols as u64,
@@ -611,11 +626,12 @@ impl ChunkedHuffman {
         Ok((out, trace))
     }
 
-    /// Compression statistics, counting table, offsets and payload.
+    /// Compression statistics, counting table, offsets, payload and the
+    /// frame checksum.
     pub fn stats(&self) -> CompressionStats {
         CompressionStats {
             raw_bytes: self.n_symbols,
-            compressed_bytes: self.payload.len() + 256 + 4 * self.chunk_offsets.len() + 16,
+            compressed_bytes: self.payload.len() + 256 + 4 * self.chunk_offsets.len() + 16 + 8,
         }
     }
 
@@ -669,8 +685,8 @@ mod tests {
         let data = vec![42u8; 1000];
         let blob = HuffmanBlob::compress(&data).unwrap();
         assert_eq!(blob.decompress().unwrap(), data);
-        // 1 bit per symbol -> 125 payload bytes.
-        assert!(blob.stats().compressed_bytes < 256 + 8 + 130);
+        // 1 bit per symbol -> 125 payload bytes (+ table, count, checksum).
+        assert!(blob.stats().compressed_bytes < 256 + 8 + 8 + 130);
     }
 
     #[test]
@@ -846,6 +862,44 @@ mod tests {
         let mut blob = HuffmanBlob::compress(&data).unwrap();
         blob.payload.truncate(blob.payload.len() / 4);
         assert!(blob.decompress_fast().is_err());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        // A flipped payload byte usually still decodes structurally (the
+        // prefix code re-synchronizes) — the checksum is what catches it.
+        let data = skewed_data(5_000);
+        let mut blob = HuffmanBlob::compress(&data).unwrap();
+        blob.payload[100] ^= 0x40;
+        assert!(blob.decompress().is_err(), "corruption must not pass");
+        assert!(blob.decompress_fast().is_err());
+        // A wrong recorded checksum over an intact payload is the pure
+        // mismatch case, on both decode paths.
+        let mut tampered = HuffmanBlob::compress(&data).unwrap();
+        tampered.checksum ^= 1;
+        assert!(matches!(
+            tampered.decompress(),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            tampered.decompress_fast(),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_chunk_fails_checksum() {
+        let data = skewed_data(10_000);
+        let mut ch = ChunkedHuffman::compress(&data, 1000).unwrap();
+        let mid = ch.payload.len() / 2;
+        ch.payload[mid] ^= 0x08;
+        assert!(ch.decompress().is_err(), "corruption must not pass");
+        let mut tampered = ChunkedHuffman::compress(&data, 1000).unwrap();
+        tampered.checksum ^= 1;
+        assert!(matches!(
+            tampered.decompress_traced(),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

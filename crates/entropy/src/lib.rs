@@ -36,6 +36,16 @@ pub enum CodecError {
     Corrupt(&'static str),
     /// The symbol alphabet was empty or otherwise unusable.
     EmptyInput,
+    /// The decoded payload failed its frame checksum: the stream decoded
+    /// structurally but the bytes are wrong (bit-flipped frame, stale DMA).
+    /// Serving treats this as a corrupted-frame fault and re-fetches the
+    /// frame from the host copy.
+    ChecksumMismatch {
+        /// Checksum recorded at compression time.
+        expected: u64,
+        /// Checksum of the bytes actually decoded.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -44,11 +54,43 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
             CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
             CodecError::EmptyInput => write!(f, "input contains no symbols"),
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: expected {expected:#018x}, decoded {actual:#018x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit checksum over a byte stream — the frame integrity check
+/// every blob in this crate records at compression time and verifies after
+/// decode. Not cryptographic; it exists to surface corrupted frames as a
+/// typed [`CodecError::ChecksumMismatch`] instead of silently wrong
+/// weights.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Verifies `decoded` against a recorded checksum, the shared epilogue of
+/// every decompress path in this crate.
+///
+/// # Errors
+///
+/// Returns [`CodecError::ChecksumMismatch`] when the checksums differ.
+pub(crate) fn verify_checksum(decoded: &[u8], expected: u64) -> Result<(), CodecError> {
+    let actual = checksum64(decoded);
+    if actual != expected {
+        return Err(CodecError::ChecksumMismatch { expected, actual });
+    }
+    Ok(())
+}
 
 /// Compression statistics shared by all codecs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,5 +149,19 @@ mod tests {
     fn error_display() {
         assert!(CodecError::UnexpectedEof.to_string().contains("unexpected end"));
         assert!(CodecError::Corrupt("bad table").to_string().contains("bad table"));
+        let e = CodecError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_sensitive() {
+        assert_eq!(checksum64(b"frame"), checksum64(b"frame"));
+        assert_ne!(checksum64(b"frame"), checksum64(b"frame\0"));
+        assert_ne!(checksum64(b"frame"), checksum64(b"framf"));
+        // FNV-1a offset basis for the empty stream.
+        assert_eq!(checksum64(&[]), 0xCBF2_9CE4_8422_2325);
     }
 }

@@ -164,6 +164,10 @@ pub struct RansBlob {
     payload: Vec<u8>,
     n_symbols: usize,
     n_streams: usize,
+    /// FNV-1a checksum of the raw input ([`crate::checksum64`]), verified
+    /// after decode — rANS happily decodes a corrupted stream into
+    /// plausible garbage, so the checksum is the only corruption signal.
+    checksum: u64,
 }
 
 impl RansBlob {
@@ -202,6 +206,7 @@ impl RansBlob {
             payload: reversed_payload,
             n_symbols: data.len(),
             n_streams,
+            checksum: crate::checksum64(data),
         })
     }
 
@@ -209,7 +214,9 @@ impl RansBlob {
     ///
     /// # Errors
     ///
-    /// Returns a [`CodecError`] if the payload is truncated.
+    /// Returns a [`CodecError`] if the payload is truncated, or
+    /// [`CodecError::ChecksumMismatch`] if it decodes to the wrong bytes
+    /// (a corrupted stream often still renormalizes cleanly).
     pub fn decompress(&self) -> Result<Vec<u8>, CodecError> {
         let table = RansTable::from_frequencies(self.freq);
         let mut states = self.states.clone();
@@ -219,15 +226,16 @@ impl RansBlob {
             let stream = i % self.n_streams;
             out.push(decode_symbol(&mut states[stream], &mut bytes, &table)?);
         }
+        crate::verify_checksum(&out, self.checksum)?;
         Ok(out)
     }
 
     /// Compression statistics: payload + per-stream states + frequency table
-    /// (256 × 12-bit entries packed) + length header.
+    /// (256 × 12-bit entries packed) + length header + frame checksum.
     pub fn stats(&self) -> CompressionStats {
         CompressionStats {
             raw_bytes: self.n_symbols,
-            compressed_bytes: self.payload.len() + 4 * self.states.len() + 384 + 16,
+            compressed_bytes: self.payload.len() + 4 * self.states.len() + 384 + 16 + 8,
         }
     }
 
@@ -372,13 +380,30 @@ mod tests {
         let data = skewed_data(5_000);
         let mut blob = RansBlob::compress(&data, 4).unwrap();
         blob.payload.truncate(blob.payload.len() / 2);
-        // Either an EOF error or (rarely) garbage of the right length — but
-        // with a truncated payload the decoder must not panic. EOF is the
-        // expected outcome because renormalization starves.
-        match blob.decompress() {
-            Err(CodecError::UnexpectedEof) => {}
-            Err(e) => panic!("unexpected error {e:?}"),
-            Ok(out) => assert_ne!(out, data, "truncated stream cannot decode exactly"),
-        }
+        // Historically a truncated stream could decode to garbage of the
+        // right length and pass; the frame checksum makes every truncation
+        // a hard error (EOF when renormalization starves, mismatch when it
+        // limps through).
+        assert!(matches!(
+            blob.decompress(),
+            Err(CodecError::UnexpectedEof) | Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        // rANS resynchronizes through corruption and emits plausible bytes;
+        // only the checksum catches a mid-stream bit flip.
+        let data = skewed_data(5_000);
+        let mut blob = RansBlob::compress(&data, 32).unwrap();
+        let mid = blob.payload.len() / 2;
+        blob.payload[mid] ^= 0x10;
+        assert!(blob.decompress().is_err(), "corruption must not pass");
+        let mut tampered = RansBlob::compress(&data, 32).unwrap();
+        tampered.checksum ^= 1;
+        assert!(matches!(
+            tampered.decompress(),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
     }
 }

@@ -143,6 +143,30 @@ impl GpuCluster {
     pub fn bottleneck_stage_layers(&self, layers: u64) -> u64 {
         layers.div_ceil(self.pp as u64)
     }
+
+    /// Total ranks as a `usize` — the fault layer's flat index space
+    /// (`rank = stage * tp + lane`).
+    pub fn total_ranks(&self) -> usize {
+        self.total_devices() as usize
+    }
+
+    /// The pipeline stage a flat rank index belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn rank_stage(&self, rank: usize) -> u32 {
+        assert!(rank < self.total_ranks(), "rank out of range");
+        rank as u32 / self.count
+    }
+
+    /// Fraction of compute capacity left with `dead` ranks down — the
+    /// re-planning factor the degraded scheduler applies to capacity and
+    /// step time (survivors absorb the dead ranks' shards).
+    pub fn survivor_fraction(&self, dead: usize) -> f64 {
+        let total = self.total_ranks();
+        total.saturating_sub(dead) as f64 / total as f64
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +232,27 @@ mod tests {
         assert_eq!(c.bottleneck_stage_layers(32), 11);
         // pp=1 degenerates to the whole model on one stage.
         assert_eq!(GpuCluster::single(Gpu::Rtx4090).stage_layers(32), vec![32]);
+    }
+
+    #[test]
+    fn fault_domain_helpers() {
+        let c = GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2);
+        assert_eq!(c.total_ranks(), 8);
+        // Flat ranks 0..3 are stage 0, 4..7 stage 1.
+        assert_eq!(c.rank_stage(0), 0);
+        assert_eq!(c.rank_stage(3), 0);
+        assert_eq!(c.rank_stage(4), 1);
+        assert_eq!(c.rank_stage(7), 1);
+        assert_eq!(c.survivor_fraction(0), 1.0);
+        assert_eq!(c.survivor_fraction(2), 0.75);
+        assert_eq!(c.survivor_fraction(8), 0.0);
+        assert_eq!(c.survivor_fraction(9), 0.0, "saturates, never negative");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn rank_stage_bounds_checked() {
+        let _ = GpuCluster::single(Gpu::Rtx4090).rank_stage(1);
     }
 
     #[test]

@@ -13,15 +13,16 @@
 
 use crate::attention::{decode_attention_us, prefill_attention_us};
 use crate::cluster::GpuCluster;
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::kvcache::{KvShards, PagedKvCache};
-use crate::memory::{MemoryPlan, WeightFormat};
+use crate::memory::{MemoryPlan, PlanError, WeightFormat};
 use crate::metrics::{RunReport, StepBreakdown};
 use crate::parallel::{
     allreduce_us, block_allreduce_bytes, p2p_us, shard_layer, stage_activation_bytes,
     PipelineSchedule,
 };
 use crate::policy::{Fcfs, SchedulePolicy};
-use crate::scheduler::{run_policy, Request, ScheduleReport};
+use crate::scheduler::{run_policy_faulted, Request, ScheduleReport};
 use crate::workload::Workload;
 use zipserv_kernels::cublas_model::CublasTc;
 use zipserv_kernels::decoupled::BaselineCodec;
@@ -147,7 +148,32 @@ pub struct EngineBuilder {
     tp: Option<u32>,
     pp: Option<u32>,
     micro_batches: Option<u32>,
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
 }
+
+/// Why [`EngineBuilder::try_build`] refused to build an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Some pipeline stage's weights plus runtime overhead exceed device
+    /// capacity (the typed face of [`MemoryPlan::plan`]'s panic).
+    DoesNotFit(PlanError),
+    /// A parallelism override (`tp`/`pp`) was zero.
+    InvalidParallelism(&'static str),
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::DoesNotFit(e) => e.fmt(f),
+            EngineError::InvalidParallelism(axis) => {
+                write!(f, "invalid parallelism: {axis} must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 impl Default for EngineBuilder {
     /// The paper's reference deployment: ZipServ serving LLaMA3.1-8B on a
@@ -162,6 +188,8 @@ impl Default for EngineBuilder {
             tp: None,
             pp: None,
             micro_batches: None,
+            fault_plan: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -246,6 +274,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a deterministic [`FaultPlan`] consumed by
+    /// [`ServingEngine::serve_online`] (default empty — the empty plan is
+    /// bit-compatible with the fault-free scheduler, pinned by the chaos
+    /// suite).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the bounded retry-with-backoff policy applied to requests
+    /// displaced by injected faults (default [`RetryPolicy::default`]).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Builds the engine, resolving the parallelism axes and computing its
     /// (bottleneck-rank) memory plan.
     ///
@@ -254,6 +298,20 @@ impl EngineBuilder {
     /// Panics if the model does not fit the cluster (see
     /// [`MemoryPlan::plan`]), or if a `tp`/`pp` override is zero.
     pub fn build(self) -> ServingEngine {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`EngineBuilder::build`]: returns a typed [`EngineError`]
+    /// instead of panicking when the model does not fit the cluster or a
+    /// parallelism override is zero, so capacity re-planning after a fault
+    /// can probe candidate deployments without unwinding.
+    pub fn try_build(self) -> Result<ServingEngine, EngineError> {
+        if self.tp == Some(0) {
+            return Err(EngineError::InvalidParallelism("tp"));
+        }
+        if self.pp == Some(0) {
+            return Err(EngineError::InvalidParallelism("pp"));
+        }
         let mut cluster = self.cluster;
         if let Some(tp) = self.tp {
             cluster = cluster.with_tp(tp);
@@ -262,8 +320,9 @@ impl EngineBuilder {
             cluster = cluster.with_pp(pp);
         }
         let micro_batches = self.micro_batches.unwrap_or(2 * cluster.pp()).max(1);
-        let plan = MemoryPlan::plan(self.model, &cluster, self.kind.weight_format());
-        ServingEngine {
+        let plan = MemoryPlan::try_plan(self.model, &cluster, self.kind.weight_format())
+            .map_err(EngineError::DoesNotFit)?;
+        Ok(ServingEngine {
             kind: self.kind,
             model: self.model,
             cluster,
@@ -271,7 +330,9 @@ impl EngineBuilder {
             policy: self.policy,
             max_batch: self.max_batch,
             micro_batches,
-        }
+            fault_plan: self.fault_plan,
+            retry: self.retry,
+        })
     }
 }
 
@@ -285,6 +346,8 @@ pub struct ServingEngine {
     policy: Box<dyn SchedulePolicy>,
     max_batch: usize,
     micro_batches: u32,
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl Clone for ServingEngine {
@@ -297,6 +360,8 @@ impl Clone for ServingEngine {
             policy: self.policy.clone_box(),
             max_batch: self.max_batch,
             micro_batches: self.micro_batches,
+            fault_plan: self.fault_plan.clone(),
+            retry: self.retry,
         }
     }
 }
@@ -357,11 +422,30 @@ impl ServingEngine {
         self.max_batch
     }
 
+    /// The fault plan [`ServingEngine::serve_online`] injects (empty by
+    /// default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// The retry-with-backoff policy applied to fault victims.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// Runs an online arrival trace to completion under this engine's
     /// scheduling policy — the builder-era replacement for
-    /// `ContinuousBatcher::new(&engine).run(arrivals)`.
+    /// `ContinuousBatcher::new(&engine).run(arrivals)`. Consumes the
+    /// engine's [`FaultPlan`] (a no-op when empty: bit-identical reports).
     pub fn serve_online(&self, arrivals: Vec<Request>) -> ScheduleReport {
-        run_policy(self, self.policy.as_ref(), self.max_batch, arrivals)
+        run_policy_faulted(
+            self,
+            self.policy.as_ref(),
+            self.max_batch,
+            arrivals,
+            &self.fault_plan,
+            &self.retry,
+        )
     }
 
     /// KV bytes per token held by TP rank `rank` of a pipeline stage with
@@ -395,6 +479,17 @@ impl ServingEngine {
     /// The memory plan (Figure 17's right panel).
     pub fn memory_plan(&self) -> &MemoryPlan {
         &self.plan
+    }
+
+    /// Time to re-fetch one layer's compressed weight frame over the host
+    /// link (PCIe 4.0 x16, ~32 GB/s sustained), in seconds — the recovery
+    /// charge when a [`FaultKind::CorruptFrame`](crate::fault::FaultKind)
+    /// event invalidates resident frames and they must be re-read from
+    /// host memory.
+    pub fn frame_refetch_s(&self) -> f64 {
+        const PCIE_BYTES_PER_S: f64 = 32.0e9;
+        let layers = self.model.dims().layers.max(1);
+        (self.plan.weight_bytes / layers) as f64 / PCIE_BYTES_PER_S
     }
 
     /// Per-GPU sharded GEMM shape for one block layer at `n` tokens.

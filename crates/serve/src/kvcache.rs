@@ -182,6 +182,15 @@ impl PagedKvCache {
         let have_slots = state.pages.len() as u64 * PAGE_TOKENS - state.tokens;
         Ok(tokens.saturating_sub(have_slots).div_ceil(PAGE_TOKENS))
     }
+
+    /// Drops every sequence and returns all pages to the free list — the
+    /// state of a rank whose device memory was lost (power-cycle, ECC
+    /// fault). Capacity is unchanged; contents are gone.
+    pub fn reset(&mut self) {
+        self.free_list = (0..self.total_pages).rev().collect();
+        self.ref_counts.iter_mut().for_each(|rc| *rc = 0);
+        self.tables.clear();
+    }
 }
 
 /// The KV cache of a whole tensor/pipeline-parallel deployment: one
@@ -202,6 +211,10 @@ impl PagedKvCache {
 #[derive(Debug, Clone)]
 pub struct KvShards {
     shards: Vec<PagedKvCache>,
+    /// `true` for ranks whose device memory is lost (failed GPU). Mirrored
+    /// operations skip invalidated ranks so an in-flight release/fork
+    /// cannot leak pages on the survivors.
+    invalidated: Vec<bool>,
 }
 
 impl KvShards {
@@ -212,7 +225,11 @@ impl KvShards {
     /// Panics if `shards` is empty.
     pub fn new(shards: Vec<PagedKvCache>) -> Self {
         assert!(!shards.is_empty(), "deployment needs at least one rank");
-        KvShards { shards }
+        let invalidated = vec![false; shards.len()];
+        KvShards {
+            shards,
+            invalidated,
+        }
     }
 
     /// Number of ranks.
@@ -220,56 +237,125 @@ impl KvShards {
         self.shards.len()
     }
 
+    /// Number of ranks still holding valid KV (not invalidated).
+    pub fn alive_ranks(&self) -> usize {
+        self.invalidated.iter().filter(|&&x| !x).count()
+    }
+
+    /// Whether rank `idx` has been invalidated by a fault.
+    pub fn is_invalidated(&self, idx: usize) -> bool {
+        self.invalidated.get(idx).copied().unwrap_or(false)
+    }
+
     /// Read-only view of one rank's allocator.
     pub fn rank(&self, idx: usize) -> &PagedKvCache {
         &self.shards[idx]
     }
 
-    /// Deployment-wide token capacity: the minimum across ranks (the first
-    /// rank to exhaust its pages stalls every other rank).
+    /// Marks a rank's KV shard as lost ([`FaultKind::RankFail`]
+    /// (crate::fault::FaultKind)): its allocator is reset (pages freed,
+    /// sequences dropped) and every subsequent mirrored operation skips it
+    /// until [`KvShards::repair_rank`]. Returns `false` if the rank index
+    /// is out of range or already invalidated.
+    pub fn invalidate_rank(&mut self, idx: usize) -> bool {
+        if idx >= self.shards.len() || self.invalidated[idx] {
+            return false;
+        }
+        self.shards[idx].reset();
+        self.invalidated[idx] = true;
+        true
+    }
+
+    /// Brings an invalidated rank back: its allocator rejoins *cold*
+    /// (reset, then re-registered with zero tokens for every sequence live
+    /// on the surviving ranks — their KV must be recomputed by prefill).
+    /// Returns `false` if the rank is in range but not invalidated.
+    pub fn repair_rank(&mut self, idx: usize) -> bool {
+        if idx >= self.shards.len() || !self.invalidated[idx] {
+            return false;
+        }
+        let live: Vec<u64> = match self.first_alive() {
+            Some(r) => self.shards[r].tables.keys().copied().collect(),
+            None => Vec::new(),
+        };
+        self.shards[idx].reset();
+        for seq in live {
+            self.shards[idx].register(seq);
+        }
+        self.invalidated[idx] = false;
+        true
+    }
+
+    /// Index of the first non-invalidated rank, if any.
+    fn first_alive(&self) -> Option<usize> {
+        self.invalidated.iter().position(|&x| !x)
+    }
+
+    /// Deployment-wide token capacity: the minimum across *alive* ranks
+    /// (the first rank to exhaust its pages stalls every other rank).
+    /// Zero when every rank is invalidated — nothing can be admitted.
     pub fn capacity_tokens(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.capacity_tokens())
+            .zip(&self.invalidated)
+            .filter(|(_, &dead)| !dead)
+            .map(|(s, _)| s.capacity_tokens())
             .min()
-            .expect("non-empty")
+            .unwrap_or(0)
     }
 
-    /// Registers a sequence on every rank.
+    /// Registers a sequence on every alive rank.
     pub fn register(&mut self, seq: u64) {
-        for s in &mut self.shards {
-            s.register(seq);
+        for (s, &dead) in self.shards.iter_mut().zip(&self.invalidated) {
+            if !dead {
+                s.register(seq);
+            }
         }
     }
 
-    /// Appends `tokens` slots to `seq` on every rank, atomically: if any
-    /// rank would run out of pages, *no* rank allocates.
+    /// Appends `tokens` slots to `seq` on every alive rank, atomically: if
+    /// any alive rank would run out of pages, *no* rank allocates.
     ///
     /// # Errors
     ///
-    /// [`KvError::UnknownSequence`] if unregistered on any rank;
-    /// [`KvError::OutOfPages`] if any rank lacks free pages.
+    /// [`KvError::UnknownSequence`] if unregistered on any alive rank (or
+    /// every rank is invalidated); [`KvError::OutOfPages`] if any alive
+    /// rank lacks free pages.
     pub fn append(&mut self, seq: u64, tokens: u64) -> Result<(), KvError> {
-        for s in &self.shards {
-            if s.pages_needed(seq, tokens)? > s.free_pages() {
+        if self.first_alive().is_none() {
+            return Err(KvError::UnknownSequence);
+        }
+        for (s, &dead) in self.shards.iter().zip(&self.invalidated) {
+            if !dead && s.pages_needed(seq, tokens)? > s.free_pages() {
                 return Err(KvError::OutOfPages);
             }
         }
-        for s in &mut self.shards {
-            s.append(seq, tokens).expect("checked every rank above");
+        for (s, &dead) in self.shards.iter_mut().zip(&self.invalidated) {
+            if !dead {
+                s.append(seq, tokens).expect("checked every alive rank above");
+            }
         }
         Ok(())
     }
 
-    /// Copy-on-write fork on every rank, atomically: every rank must know
-    /// the parent and have the child id free before any rank mutates.
+    /// Copy-on-write fork on every alive rank, atomically: every alive
+    /// rank must know the parent and have the child id free before any
+    /// rank mutates. Invalidated ranks are skipped — a rank dying
+    /// mid-flight must not wedge forks on the survivors.
     ///
     /// # Errors
     ///
     /// [`KvError::UnknownSequence`] if the parent is unregistered on any
-    /// rank; [`KvError::SequenceExists`] if the child id is taken on any.
+    /// alive rank (or every rank is invalidated);
+    /// [`KvError::SequenceExists`] if the child id is taken on any.
     pub fn fork(&mut self, parent: u64, child: u64) -> Result<(), KvError> {
-        for s in &self.shards {
+        if self.first_alive().is_none() {
+            return Err(KvError::UnknownSequence);
+        }
+        for (s, &dead) in self.shards.iter().zip(&self.invalidated) {
+            if dead {
+                continue;
+            }
             if s.tables.contains_key(&child) {
                 return Err(KvError::SequenceExists);
             }
@@ -277,35 +363,55 @@ impl KvShards {
                 return Err(KvError::UnknownSequence);
             }
         }
-        for s in &mut self.shards {
-            s.fork(parent, child).expect("checked every rank above");
+        for (s, &dead) in self.shards.iter_mut().zip(&self.invalidated) {
+            if !dead {
+                s.fork(parent, child).expect("checked every alive rank above");
+            }
         }
         Ok(())
     }
 
-    /// Releases a sequence on every rank, atomically: every rank must know
-    /// the sequence before any rank frees it.
+    /// Releases a sequence on every alive rank, atomically: every alive
+    /// rank must know the sequence before any rank frees it. Invalidated
+    /// ranks are skipped — their allocators were reset when the rank died,
+    /// so demanding the sequence there would fail every release issued
+    /// after a mid-flight failure and leak the survivors' pages forever
+    /// (the refcount-leak regression pinned by the chaos suite).
     ///
     /// # Errors
     ///
-    /// [`KvError::UnknownSequence`] if unregistered on any rank.
+    /// [`KvError::UnknownSequence`] if unregistered on any alive rank (or
+    /// every rank is invalidated).
     pub fn release(&mut self, seq: u64) -> Result<(), KvError> {
-        if self.shards.iter().any(|s| !s.tables.contains_key(&seq)) {
+        if self.first_alive().is_none() {
             return Err(KvError::UnknownSequence);
         }
-        for s in &mut self.shards {
-            s.release(seq).expect("checked every rank above");
+        if self
+            .shards
+            .iter()
+            .zip(&self.invalidated)
+            .any(|(s, &dead)| !dead && !s.tables.contains_key(&seq))
+        {
+            return Err(KvError::UnknownSequence);
+        }
+        for (s, &dead) in self.shards.iter_mut().zip(&self.invalidated) {
+            if !dead {
+                s.release(seq).expect("checked every alive rank above");
+            }
         }
         Ok(())
     }
 
-    /// Tokens stored for a sequence (identical on every rank).
+    /// Tokens stored for a sequence, read from the first alive rank
+    /// (identical on every rank that has not rejoined cold after a
+    /// repair). `None` when every rank is invalidated.
     pub fn tokens(&self, seq: u64) -> Option<u64> {
-        self.shards[0].tokens(seq)
+        self.shards[self.first_alive()?].tokens(seq)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -518,6 +624,95 @@ mod tests {
         assert_eq!(s.rank(1).tokens(1), Some(0));
         s.append(1, 1).unwrap();
         s.release(1).unwrap();
+    }
+
+    #[test]
+    fn reset_returns_every_page_and_forgets_sequences() {
+        let mut c = cache_with_pages(4);
+        c.register(1);
+        c.append(1, 40).unwrap();
+        c.fork(1, 2).unwrap();
+        c.reset();
+        assert_eq!(c.free_pages(), 4);
+        assert_eq!(c.tokens(1), None);
+        assert_eq!(c.tokens(2), None);
+        // The allocator is fully reusable after a reset.
+        c.register(1);
+        c.append(1, 64).unwrap();
+        assert_eq!(c.free_pages(), 0);
+    }
+
+    #[test]
+    fn invalidated_rank_cannot_leak_pages_on_release() {
+        // The mid-flight invalidation regression: a sequence admitted on
+        // every rank, then rank 1 dies. Its table was reset, so a release
+        // that insisted on finding the sequence on *all* ranks would error
+        // and strand the survivors' pages with positive refcounts forever.
+        let mut s = KvShards::new(vec![cache_with_pages(4), cache_with_pages(4)]);
+        s.register(7);
+        s.append(7, 40).unwrap(); // 3 pages on each rank
+        assert!(s.invalidate_rank(1));
+        assert!(!s.invalidate_rank(1), "double invalidation is a no-op");
+        assert!(!s.invalidate_rank(9), "out of range is a no-op");
+        assert_eq!(s.alive_ranks(), 1);
+        assert!(s.is_invalidated(1));
+        assert_eq!(s.rank(1).free_pages(), 4, "dead rank's pages are freed");
+        // Release succeeds on the survivor and frees its pages.
+        s.release(7).unwrap();
+        assert_eq!(s.rank(0).free_pages(), 4, "no leaked refcounts");
+        assert_eq!(s.release(7), Err(KvError::UnknownSequence));
+    }
+
+    #[test]
+    fn fork_and_append_skip_invalidated_ranks() {
+        let mut s = KvShards::new(vec![cache_with_pages(8), cache_with_pages(8)]);
+        s.register(1);
+        s.append(1, 32).unwrap();
+        assert!(s.invalidate_rank(0));
+        // Mirror ops keep working on the survivor; the dead rank is inert.
+        s.fork(1, 2).unwrap();
+        s.append(2, 1).unwrap();
+        assert_eq!(s.tokens(2), Some(33), "read from the first alive rank");
+        assert_eq!(s.rank(0).free_pages(), 8, "dead rank untouched");
+        // Capacity comes from alive ranks only.
+        assert_eq!(s.capacity_tokens(), 8 * PAGE_TOKENS);
+        s.release(1).unwrap();
+        s.release(2).unwrap();
+        assert_eq!(s.rank(1).free_pages(), 8);
+    }
+
+    #[test]
+    fn repaired_rank_rejoins_cold_and_serves_again() {
+        let mut s = KvShards::new(vec![cache_with_pages(8), cache_with_pages(8)]);
+        s.register(1);
+        s.append(1, 32).unwrap();
+        assert!(s.invalidate_rank(1));
+        assert!(!s.repair_rank(0), "repairing an alive rank is a no-op");
+        assert!(s.repair_rank(1));
+        assert_eq!(s.alive_ranks(), 2);
+        // The repaired rank knows every live sequence but holds no KV for
+        // it yet — recompute-prefill must refill it.
+        assert_eq!(s.rank(1).tokens(1), Some(0));
+        assert_eq!(s.rank(0).tokens(1), Some(32));
+        // New work lands on both ranks again.
+        s.append(1, PAGE_TOKENS).unwrap();
+        assert_eq!(s.rank(1).tokens(1), Some(PAGE_TOKENS));
+        s.release(1).unwrap();
+        assert_eq!(s.rank(0).free_pages(), 8);
+        assert_eq!(s.rank(1).free_pages(), 8);
+    }
+
+    #[test]
+    fn all_ranks_invalidated_errors_instead_of_panicking() {
+        let mut s = KvShards::new(vec![cache_with_pages(2)]);
+        s.register(1);
+        assert!(s.invalidate_rank(0));
+        assert_eq!(s.alive_ranks(), 0);
+        assert_eq!(s.capacity_tokens(), 0, "no capacity without ranks");
+        assert_eq!(s.tokens(1), None);
+        assert_eq!(s.append(1, 1), Err(KvError::UnknownSequence));
+        assert_eq!(s.fork(1, 2), Err(KvError::UnknownSequence));
+        assert_eq!(s.release(1), Err(KvError::UnknownSequence));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   DFloat11-like decoupled-decompression engine;
 //! * [`scheduler`] — online continuous batching over Poisson arrivals with
 //!   KV-capacity admission control and latency percentiles;
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
+//!   bounded retry-with-backoff recovery: rank failure/repair, link
+//!   degradation, KV stalls, and corrupted-frame events consumed mid-run;
 //! * [`policy`] — pluggable [`SchedulePolicy`] admission/preemption
 //!   policies: FCFS, priority tiers with aging, SLO-deadline EDF, and
 //!   preemptive shortest-job-first;
@@ -30,6 +33,7 @@
 pub mod attention;
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod kvcache;
 pub mod memory;
 pub mod metrics;
@@ -41,7 +45,9 @@ pub mod workload;
 
 pub use cluster::GpuCluster;
 pub use engine::{EngineBuilder, EngineKind, ServingEngine};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RejectReason, Rejection, RetryPolicy};
 pub use kvcache::{KvError, KvShards, PagedKvCache};
+pub use metrics::RobustnessStats;
 pub use parallel::PipelineSchedule;
 pub use policy::{
     Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,

@@ -12,6 +12,34 @@ use zipserv_kernels::shapes::{LayerKind, LlmModel};
 /// Fixed runtime overhead per GPU (CUDA context, activations, workspace).
 pub const RUNTIME_OVERHEAD_BYTES: u64 = 3_900_000_000;
 
+/// Why a memory plan cannot be built: some stage's weight slice plus the
+/// fixed runtime overhead exceeds device capacity. The typed face of the
+/// panic in [`MemoryPlan::plan`], for callers that want to degrade
+/// gracefully (see `EngineBuilder::try_build` in [`crate::engine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanError {
+    /// Weight bytes resident on the offending stage's ranks.
+    pub weight_bytes: u64,
+    /// Per-GPU capacity in bytes.
+    pub capacity_bytes: u64,
+    /// The pipeline stage that overflowed.
+    pub stage: usize,
+    /// Total pipeline stages in the deployment.
+    pub stages: usize,
+}
+
+impl core::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "model does not fit: {} weights on {} capacity (stage {} of {})",
+            self.weight_bytes, self.capacity_bytes, self.stage, self.stages
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// How the engine stores weights.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WeightFormat {
@@ -54,6 +82,19 @@ impl MemoryPlan {
             .expect("at least one stage")
     }
 
+    /// Fallible [`MemoryPlan::plan`]: returns [`PlanError`] instead of
+    /// panicking when some rank's weights alone exceed device capacity.
+    pub fn try_plan(
+        model: LlmModel,
+        cluster: &GpuCluster,
+        format: WeightFormat,
+    ) -> Result<MemoryPlan, PlanError> {
+        Ok(Self::try_plan_stages(model, cluster, format)?
+            .into_iter()
+            .min_by_key(|p| p.kv_bytes)
+            .expect("at least one stage"))
+    }
+
     /// Plans memory for every pipeline stage of the deployment, in stage
     /// order. Each stage's `tp` ranks are identical (weights shard evenly),
     /// so one plan per stage describes all of its ranks. Stage 0 holds the
@@ -68,6 +109,16 @@ impl MemoryPlan {
         cluster: &GpuCluster,
         format: WeightFormat,
     ) -> Vec<MemoryPlan> {
+        Self::try_plan_stages(model, cluster, format).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MemoryPlan::plan_stages`]: returns [`PlanError`] for the
+    /// first overflowing stage instead of panicking.
+    pub fn try_plan_stages(
+        model: LlmModel,
+        cluster: &GpuCluster,
+        format: WeightFormat,
+    ) -> Result<Vec<MemoryPlan>, PlanError> {
         let dims = model.dims();
         let tp = cluster.tp() as u64;
         let stages = cluster.stage_layers(dims.layers);
@@ -105,18 +156,20 @@ impl MemoryPlan {
                     }
                 };
                 let capacity = cluster.dram_bytes_per_gpu();
-                assert!(
-                    weight_bytes + RUNTIME_OVERHEAD_BYTES < capacity,
-                    "model does not fit: {weight_bytes} weights on {capacity} capacity \
-                     (stage {s} of {})",
-                    stages.len()
-                );
-                MemoryPlan {
+                if weight_bytes + RUNTIME_OVERHEAD_BYTES >= capacity {
+                    return Err(PlanError {
+                        weight_bytes,
+                        capacity_bytes: capacity,
+                        stage: s,
+                        stages: stages.len(),
+                    });
+                }
+                Ok(MemoryPlan {
                     weight_bytes,
                     kv_bytes: capacity - weight_bytes - RUNTIME_OVERHEAD_BYTES,
                     runtime_bytes: RUNTIME_OVERHEAD_BYTES,
                     capacity_bytes: capacity,
-                }
+                })
             })
             .collect()
     }
@@ -169,6 +222,16 @@ mod tests {
     fn oversized_model_panics() {
         let cluster = GpuCluster::single(Gpu::Rtx4090);
         let _ = MemoryPlan::plan(LlmModel::Llama31_70b, &cluster, WeightFormat::Dense);
+    }
+
+    #[test]
+    fn try_plan_surfaces_typed_error() {
+        let cluster = GpuCluster::single(Gpu::Rtx4090);
+        let err = MemoryPlan::try_plan(LlmModel::Llama31_70b, &cluster, WeightFormat::Dense)
+            .expect_err("70B dense cannot fit a 4090");
+        assert_eq!((err.stage, err.stages), (0, 1));
+        assert!(err.weight_bytes + RUNTIME_OVERHEAD_BYTES >= err.capacity_bytes);
+        assert!(err.to_string().contains("does not fit"));
     }
 
     #[test]

@@ -142,6 +142,51 @@ impl StepBreakdown {
     }
 }
 
+/// Robustness accounting for one scheduled run under fault injection
+/// (all-zero — the `Default` — for clean runs, preserving bit-compatible
+/// reports when the [`FaultPlan`](crate::fault::FaultPlan) is empty).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct RobustnessStats {
+    /// Fault events applied during the run.
+    pub faults_injected: u64,
+    /// Rank failures applied (repeat failures of a dead rank excluded).
+    pub rank_failures: u64,
+    /// Link-degradation windows applied.
+    pub link_degrades: u64,
+    /// Fault-driven re-queues of in-flight requests (distinct from
+    /// scheduler preemptions).
+    pub retries: u64,
+    /// Tokens recomputed by recompute-prefill on fault-victim re-admission.
+    pub recomputed_tokens: u64,
+    /// Best-effort requests shed by the SLO-aware brownout while degraded.
+    pub shed: u64,
+    /// Corrupted compressed frames detected by decode checksums.
+    pub frame_corruptions: u64,
+    /// Simulated seconds stalled on KV host-memory transfers.
+    pub stall_s: f64,
+    /// Simulated seconds spent re-fetching corrupted frames over PCIe.
+    pub refetch_s: f64,
+    /// Simulated seconds during which at least one rank was dead.
+    pub downtime_s: f64,
+    /// Times the victim queue fully drained after a failure (each closes
+    /// one time-to-recover window).
+    pub recoveries: u64,
+    /// Total time from each failure to its victims' full resolution.
+    pub time_to_recover_s: f64,
+}
+
+impl RobustnessStats {
+    /// Mean time from a rank failure to every victim being re-served or
+    /// rejected; `None` when no recovery window closed.
+    pub fn mean_time_to_recover_s(&self) -> Option<f64> {
+        if self.recoveries == 0 {
+            None
+        } else {
+            Some(self.time_to_recover_s / self.recoveries as f64)
+        }
+    }
+}
+
 /// The end-to-end result of serving one workload (one Figure 16 point).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RunReport {
@@ -198,6 +243,19 @@ mod tests {
         assert_eq!(b.total_ms(), 0.0);
         assert_eq!(b.linear_fraction(), 0.0);
         assert_eq!(b.comm_ms(), 0.0);
+    }
+
+    #[test]
+    fn robustness_defaults_are_zero_and_ttr_guards_empty() {
+        let z = RobustnessStats::default();
+        assert_eq!(z, RobustnessStats { faults_injected: 0, ..z });
+        assert_eq!(z.mean_time_to_recover_s(), None);
+        let r = RobustnessStats {
+            recoveries: 2,
+            time_to_recover_s: 3.0,
+            ..RobustnessStats::default()
+        };
+        assert_eq!(r.mean_time_to_recover_s(), Some(1.5));
     }
 
     #[test]

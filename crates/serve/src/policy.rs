@@ -127,6 +127,14 @@ pub struct QueuedRequest {
     pub first_admitted_s: Option<f64>,
     /// When the request produced its first token, if ever.
     pub first_token_s: Option<f64>,
+    /// Fault-driven re-queues so far (0 for fresh requests and plain
+    /// preemption victims). Bounded by
+    /// [`RetryPolicy::max_retries`](crate::fault::RetryPolicy).
+    pub retries: u32,
+    /// Earliest time the request may be re-admitted (retry backoff;
+    /// 0 for anything but a fault victim, so fresh requests are always
+    /// immediately eligible).
+    pub not_before_s: f64,
 }
 
 impl QueuedRequest {
@@ -138,6 +146,8 @@ impl QueuedRequest {
             preemptions: 0,
             first_admitted_s: None,
             first_token_s: None,
+            retries: 0,
+            not_before_s: 0.0,
         }
     }
 
@@ -167,6 +177,8 @@ pub struct RunningRequest {
     pub first_admitted_s: f64,
     /// When the request produced its first token, if it has.
     pub first_token_s: Option<f64>,
+    /// Fault-driven re-queues this request has survived so far.
+    pub retries: u32,
 }
 
 impl RunningRequest {
@@ -616,6 +628,7 @@ mod tests {
             preemptions: 0,
             first_admitted_s: 0.0,
             first_token_s: None,
+            retries: 0,
         }];
         // Equal remaining output: no preemption.
         assert_eq!(sjf.victim(&cand, &running, 1.0), None);

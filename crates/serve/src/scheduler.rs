@@ -14,11 +14,12 @@
 //! fluent way to wire one up.
 
 use crate::engine::ServingEngine;
-use crate::metrics::{percentile, ClassStats};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultState, RejectReason, Rejection, RetryPolicy};
+use crate::metrics::{percentile, ClassStats, RobustnessStats};
 use crate::policy::{
     Fcfs, PreemptionMode, PriorityClass, QueuedRequest, RunningRequest, SchedulePolicy, Slo,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 pub use crate::policy::MAX_PREEMPTIONS;
 
@@ -86,6 +87,11 @@ pub struct Completion {
     pub preemptions: u32,
     /// Whether the request's SLO was met (`None` if it carried no SLO).
     pub slo_met: Option<bool>,
+    /// Output tokens the request generated (its `output_len`) — what
+    /// [`ScheduleReport::goodput_tps`] counts.
+    pub output_len: u64,
+    /// Fault-driven re-queues the request survived (0 on clean runs).
+    pub retries: u32,
 }
 
 /// Aggregate results of one simulated serving run.
@@ -107,9 +113,17 @@ pub struct ScheduleReport {
     pub comm_s: f64,
     /// Total preemptions across the run.
     pub preemptions: u64,
-    /// Ids of requests rejected outright because they can never fit the
-    /// deployment's KV capacity even alone.
+    /// Ids of requests rejected instead of served, in rejection order
+    /// (derived from [`ScheduleReport::rejections`]; kept for
+    /// compatibility with pre-fault callers).
     pub rejected: Vec<u64>,
+    /// Typed rejections with reasons: oversized requests, fault victims
+    /// past the retry cap, brownout sheds, lost capacity, policy holds.
+    pub rejections: Vec<Rejection>,
+    /// Robustness accounting under fault injection. All-zero (the
+    /// `Default`) on clean runs, preserving bit-compatible reports when
+    /// the [`FaultPlan`] is empty.
+    pub robustness: RobustnessStats,
     /// Name of the policy that produced this report.
     pub policy: String,
 }
@@ -199,6 +213,37 @@ impl ScheduleReport {
             .filter_map(|&class| self.class_stats(class))
             .collect()
     }
+
+    /// Fraction of the run during which every rank was alive: `1 −
+    /// downtime / duration`. Exactly 1.0 on clean runs (and on an empty
+    /// run, where no time passed to be unavailable in).
+    pub fn availability(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.robustness.downtime_s / self.duration_s).clamp(0.0, 1.0)
+    }
+
+    /// Output tokens per second counting only *completed* requests —
+    /// under faults this excludes tokens generated by victims that were
+    /// later rejected, so `goodput_tps <= throughput_tps` and the gap is
+    /// the work faults wasted. Equal to `throughput_tps` on clean runs
+    /// without rejections.
+    pub fn goodput_tps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.completions.iter().map(|c| c.output_len).sum::<u64>() as f64 / self.duration_s
+    }
+
+    /// Ids rejected for one specific reason, in rejection order.
+    pub fn rejected_for(&self, reason: RejectReason) -> Vec<u64> {
+        self.rejections
+            .iter()
+            .filter(|r| r.reason == reason)
+            .map(|r| r.id)
+            .collect()
+    }
 }
 
 /// Deterministic xorshift64 uniform stream on `(0, 1)`, shared by every
@@ -248,7 +293,8 @@ fn finish_report(
     peak_batch: usize,
     comm_s: f64,
     preemptions: u64,
-    rejected: Vec<u64>,
+    rejections: Vec<Rejection>,
+    robustness: RobustnessStats,
     completions: Vec<Completion>,
 ) -> ScheduleReport {
     ScheduleReport {
@@ -261,7 +307,9 @@ fn finish_report(
         peak_batch,
         comm_s,
         preemptions,
-        rejected,
+        rejected: rejections.iter().map(|r| r.id).collect(),
+        rejections,
+        robustness,
         policy: policy.to_string(),
         completions,
     }
@@ -269,7 +317,10 @@ fn finish_report(
 
 /// Turns a finished in-flight record into a completion at time `now`.
 fn complete(f: &RunningRequest, now: f64) -> Completion {
-    let first_token = f.first_token_s.expect("completed request produced a token");
+    // A finished request always produced at least one token; fall back to
+    // the final step time rather than aborting the run if a custom policy
+    // ever violates that invariant.
+    let first_token = f.first_token_s.unwrap_or(now);
     let ttft_s = first_token - f.req.arrival_s;
     Completion {
         id: f.req.id,
@@ -282,6 +333,8 @@ fn complete(f: &RunningRequest, now: f64) -> Completion {
             let decode_budget = slo.tpot_s * f.req.output_len.saturating_sub(1) as f64;
             ttft_s <= slo.ttft_s && (now - first_token) <= decode_budget
         }),
+        output_len: f.req.output_len,
+        retries: f.retries,
     }
 }
 
@@ -313,20 +366,197 @@ pub fn run_policy(
     engine: &ServingEngine,
     policy: &dyn SchedulePolicy,
     max_batch: usize,
+    arrivals: Vec<Request>,
+) -> ScheduleReport {
+    run_policy_faulted(
+        engine,
+        policy,
+        max_batch,
+        arrivals,
+        &FaultPlan::default(),
+        &RetryPolicy::default(),
+    )
+}
+
+/// Everything the fault machinery mutates while the scheduler loop runs —
+/// threaded as one bundle so the event applicator and the admission loop
+/// see the same books.
+struct FaultBooks {
+    state: FaultState,
+    rob: RobustnessStats,
+    /// Ids victimized by a failure and not yet re-served or rejected.
+    victims_outstanding: HashSet<u64>,
+    /// When the oldest still-open recovery window opened.
+    recover_started: Option<f64>,
+}
+
+impl FaultBooks {
+    /// A victim id got re-served or rejected; when the last one resolves,
+    /// the time-to-recover window closes.
+    fn resolve_victim(&mut self, id: u64, now: f64) {
+        if self.victims_outstanding.remove(&id) && self.victims_outstanding.is_empty() {
+            if let Some(t0) = self.recover_started.take() {
+                self.rob.time_to_recover_s += now - t0;
+                self.rob.recoveries += 1;
+            }
+        }
+    }
+}
+
+/// Applies every fault event due at or before `now` (plus link-window
+/// expiry), mutating time, the pending/running queues and the robustness
+/// books. Called at the top of each scheduler round and after every time
+/// jump, so no event is skipped over.
+#[allow(clippy::too_many_arguments)]
+fn apply_due_faults(
+    events: &[FaultEvent],
+    next_event: &mut usize,
+    books: &mut FaultBooks,
+    retry: &RetryPolicy,
+    engine: &ServingEngine,
+    now: &mut f64,
+    pending: &mut Vec<QueuedRequest>,
+    running: &mut Vec<RunningRequest>,
+    rejections: &mut Vec<Rejection>,
+) {
+    // Link windows expire by time, not by a plan event.
+    if books.state.link_factor != 1.0 && *now >= books.state.link_until {
+        books.state.link_factor = 1.0;
+    }
+    while *next_event < events.len() && events[*next_event].at_s <= *now {
+        let ev = events[*next_event];
+        *next_event += 1;
+        books.rob.faults_injected += 1;
+        match ev.kind {
+            FaultKind::RankFail { rank } => {
+                let rank = rank % books.state.total_ranks;
+                if !books.state.dead.insert(rank) {
+                    continue; // already dead
+                }
+                if books.state.dead.len() == 1 {
+                    books.state.degraded_since = *now;
+                }
+                books.rob.rank_failures += 1;
+                // KV shards mirror every sequence across all ranks, so one
+                // dead rank invalidates the whole batch's KV: every running
+                // request is victimized for recompute-prefill (bounded by
+                // the retry cap), never silently continued on garbage.
+                for victim in running.drain(..) {
+                    let retries = victim.retries + 1;
+                    if retries > retry.max_retries {
+                        rejections.push(Rejection {
+                            id: victim.req.id,
+                            reason: RejectReason::RetriesExhausted,
+                        });
+                        books.resolve_victim(victim.req.id, *now);
+                        continue;
+                    }
+                    books.rob.retries += 1;
+                    books.victims_outstanding.insert(victim.req.id);
+                    let back = QueuedRequest {
+                        req: victim.req,
+                        resume_generated: victim.generated,
+                        preemptions: victim.preemptions,
+                        first_admitted_s: Some(victim.first_admitted_s),
+                        first_token_s: victim.first_token_s,
+                        retries,
+                        not_before_s: *now + retry.delay_s(retries),
+                    };
+                    let pos =
+                        pending.partition_point(|p| p.req.arrival_s <= back.req.arrival_s);
+                    pending.insert(pos, back);
+                }
+                if !books.victims_outstanding.is_empty() && books.recover_started.is_none() {
+                    books.recover_started = Some(*now);
+                }
+            }
+            FaultKind::RankRepair { rank } => {
+                let rank = rank % books.state.total_ranks;
+                if books.state.dead.remove(&rank) && books.state.dead.is_empty() {
+                    books.rob.downtime_s += *now - books.state.degraded_since;
+                }
+            }
+            FaultKind::LinkDegrade { factor, duration_s } => {
+                books.state.link_factor = factor.max(1.0);
+                books.state.link_until = *now + duration_s;
+                books.rob.link_degrades += 1;
+            }
+            FaultKind::KvStall { stall_s } => {
+                *now += stall_s;
+                books.rob.stall_s += stall_s;
+            }
+            FaultKind::CorruptFrame { frames } => {
+                // The entropy codecs' checksums surface corruption as a
+                // typed error before garbage reaches the ZipGEMM path; the
+                // recovery cost is one PCIe re-fetch per frame.
+                let penalty = frames as f64 * engine.frame_refetch_s();
+                *now += penalty;
+                books.rob.frame_corruptions += frames as u64;
+                books.rob.refetch_s += penalty;
+            }
+        }
+    }
+}
+
+/// [`run_policy`] with deterministic fault injection and recovery.
+///
+/// The clean-path guarantee: with an empty [`FaultPlan`] this function
+/// executes *exactly* the arithmetic of the pre-fault loop — every fault
+/// branch is behind a `plan.is_empty()` check, capacity scaling is
+/// integer, and the robustness books stay at their all-zero default — so
+/// reports are bit-identical (pinned by the `fault_recovery` suite across
+/// every in-tree policy).
+///
+/// With a non-empty plan, events apply between scheduler rounds:
+///
+/// * **[`FaultKind::RankFail`]** — the dead rank's KV shard is lost, so
+///   the whole running batch is victimized. Each victim re-queues for
+///   recompute-prefill with an exponential backoff
+///   ([`RetryPolicy::delay_s`]); past [`RetryPolicy::max_retries`] it is
+///   rejected as [`RejectReason::RetriesExhausted`]. Capacity and step
+///   time are re-planned around the survivors, and fresh best-effort
+///   ([`PriorityClass::Batch`]) arrivals are shed
+///   ([`RejectReason::BrownoutShed`]) until repair.
+/// * **[`FaultKind::RankRepair`]** — capacity returns; victims still
+///   queued simply resume through the normal admission path.
+/// * **[`FaultKind::LinkDegrade`]** — the communication share of each
+///   decode step is multiplied by the factor until the window expires.
+/// * **[`FaultKind::KvStall`]** / **[`FaultKind::CorruptFrame`]** — the
+///   engine stalls for the transfer / per-frame PCIe re-fetch time.
+///
+/// Every request resolves exactly once: it either completes or appears in
+/// [`ScheduleReport::rejections`] with a typed reason.
+pub fn run_policy_faulted(
+    engine: &ServingEngine,
+    policy: &dyn SchedulePolicy,
+    max_batch: usize,
     mut arrivals: Vec<Request>,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
 ) -> ScheduleReport {
     arrivals.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
     let capacity = engine.kv_capacity_tokens();
+    let clean = plan.is_empty();
+    let events = plan.events();
+    let mut next_event = 0usize;
+    let mut books = FaultBooks {
+        state: FaultState::new(engine.cluster().total_ranks()),
+        rob: RobustnessStats::default(),
+        victims_outstanding: HashSet::new(),
+        recover_started: None,
+    };
     let mut pending: Vec<QueuedRequest> = arrivals.into_iter().map(QueuedRequest::fresh).collect();
     let mut running: Vec<RunningRequest> = Vec::new();
     let mut completions = Vec::new();
-    let mut rejected = Vec::new();
+    let mut rejections: Vec<Rejection> = Vec::new();
     let mut now = 0.0f64;
     let mut peak_batch = 0usize;
     let mut output_tokens = 0u64;
     let mut preemptions = 0u64;
     let mut comm_s = 0.0f64;
     // Step times cached per (batch, context bucket): (total ms, comm ms).
+    // The cached pair is fault-independent — degradation scales it *after*
+    // the lookup — so the key needs no fault epoch.
     let mut step_cache: HashMap<(u64, u64), (f64, f64)> = HashMap::new();
 
     // Worst-case KV demand if `cand` joins the current batch (same
@@ -340,32 +570,94 @@ pub fn run_policy(
             + cand.req.output_len
     }
 
+    macro_rules! faults_due {
+        () => {
+            if !clean {
+                apply_due_faults(
+                    events,
+                    &mut next_event,
+                    &mut books,
+                    retry,
+                    engine,
+                    &mut now,
+                    &mut pending,
+                    &mut running,
+                    &mut rejections,
+                );
+            }
+        };
+    }
+
     while !pending.is_empty() || !running.is_empty() {
+        faults_due!();
         // Admission phase.
         'admit: while !pending.is_empty() {
             if pending[0].req.arrival_s > now && running.is_empty() {
                 // Idle: jump to the next arrival.
                 now = pending[0].req.arrival_s;
+                faults_due!();
             }
             let arrived = pending.partition_point(|p| p.req.arrival_s <= now);
             if arrived == 0 || running.len() >= max_batch {
                 break;
             }
-            let Some(pick) = policy.select(&pending[..arrived], &running, now) else {
+            // Backoff gating: fault victims waiting out their backoff are
+            // invisible to the policy until `not_before_s`. On the clean
+            // path every `not_before_s` is 0, so the view is the plain
+            // arrived slice and no gating work happens.
+            let picked = if clean {
+                policy.select(&pending[..arrived], &running, now)
+            } else {
+                let eligible: Vec<usize> =
+                    (0..arrived).filter(|&i| pending[i].not_before_s <= now).collect();
+                let view: Vec<QueuedRequest> = eligible.iter().map(|&i| pending[i]).collect();
+                policy.select(&view, &running, now).map(|vi| {
+                    assert!(vi < view.len(), "policy selected an unarrived request");
+                    eligible[vi]
+                })
+            };
+            let Some(pick) = picked else {
                 if running.is_empty() {
-                    // The engine is idle and the policy holds admission:
-                    // jump to the next arrival so the hold can end, rather
-                    // than spinning with time frozen. A policy that holds
-                    // an idle engine with no future arrival left would hang
-                    // the simulation — fail loudly instead.
-                    if let Some(next) = pending.iter().find(|p| p.req.arrival_s > now) {
-                        now = next.req.arrival_s;
+                    // The engine is idle and the policy holds admission (or
+                    // every eligible request is waiting out a backoff):
+                    // jump to whatever ends the hold first — the next
+                    // arrival, the earliest backoff expiry, or the next
+                    // fault event (a repair can end a brownout).
+                    let mut wake =
+                        pending.iter().find(|p| p.req.arrival_s > now).map(|p| p.req.arrival_s);
+                    if !clean {
+                        let backoff = pending[..arrived]
+                            .iter()
+                            .map(|p| p.not_before_s)
+                            .filter(|&t| t > now)
+                            .fold(f64::INFINITY, f64::min);
+                        if backoff.is_finite() {
+                            wake = Some(wake.map_or(backoff, |w| w.min(backoff)));
+                        }
+                        if next_event < events.len() {
+                            let ev = events[next_event].at_s;
+                            wake = Some(wake.map_or(ev, |w| w.min(ev)));
+                        }
+                    }
+                    if let Some(t) = wake {
+                        now = now.max(t);
+                        faults_due!();
                         continue 'admit;
                     }
-                    panic!(
-                        "policy {} held admission on an idle engine with no future arrivals",
-                        policy.name()
-                    );
+                    // Nothing will ever wake the engine again: the policy
+                    // held admission with no future arrival, backoff or
+                    // fault left. Shed the queue with a typed rejection
+                    // instead of panicking or spinning forever.
+                    for q in pending.drain(..) {
+                        rejections.push(Rejection {
+                            id: q.req.id,
+                            reason: RejectReason::PolicyHold,
+                        });
+                        if !clean {
+                            books.resolve_victim(q.req.id, now);
+                        }
+                    }
+                    break 'admit;
                 }
                 break;
             };
@@ -374,11 +666,39 @@ pub fn run_policy(
 
             // A request whose lifetime KV demand exceeds capacity can never
             // run: reject it up front, before it evicts innocent victims.
+            // Judged against *full* capacity — a degraded deployment may
+            // recover, so the verdict must not depend on the fault state.
             if cand.req.prompt_len + cand.req.output_len > capacity {
-                rejected.push(cand.req.id);
+                rejections.push(Rejection { id: cand.req.id, reason: RejectReason::Oversized });
+                pending.remove(pick);
+                if !clean {
+                    books.resolve_victim(cand.req.id, now);
+                }
+                continue 'admit;
+            }
+
+            // SLO-aware brownout: while a rank is down, fresh best-effort
+            // (Batch-class) arrivals are shed so the degraded capacity
+            // serves SLO-carrying traffic; fault victims keep their retry
+            // path regardless of class.
+            if !clean
+                && !books.state.dead.is_empty()
+                && cand.retries == 0
+                && cand.req.priority == PriorityClass::Batch
+            {
+                rejections.push(Rejection { id: cand.req.id, reason: RejectReason::BrownoutShed });
+                books.rob.shed += 1;
                 pending.remove(pick);
                 continue 'admit;
             }
+
+            // Capacity re-planned around dead ranks (integer scaling; full
+            // capacity — the same u64 — while every rank is alive).
+            let cap_now = if clean || books.state.dead.is_empty() {
+                capacity
+            } else {
+                books.state.scaled_capacity(capacity)
+            };
 
             // Preempt victims until the candidate fits or the policy (or
             // the per-request cap, as a backstop for custom policies that
@@ -387,7 +707,7 @@ pub fn run_policy(
             // tracked through the insertions rather than re-located.
             let mut cand_idx = pick;
             let mut evictions_left = running.len();
-            while kv_demand(&running, &cand) > capacity && evictions_left > 0 {
+            while kv_demand(&running, &cand) > cap_now && evictions_left > 0 {
                 let Some(vi) = policy.victim(&cand, &running, now) else {
                     break;
                 };
@@ -412,6 +732,8 @@ pub fn run_policy(
                     preemptions: victim.preemptions + 1,
                     first_admitted_s: Some(victim.first_admitted_s),
                     first_token_s: victim.first_token_s,
+                    retries: victim.retries,
+                    not_before_s: 0.0,
                 };
                 let pos = pending.partition_point(|p| p.req.arrival_s <= back.req.arrival_s);
                 pending.insert(pos, back);
@@ -421,7 +743,26 @@ pub fn run_policy(
                 evictions_left -= 1;
             }
 
-            if kv_demand(&running, &cand) > capacity {
+            if kv_demand(&running, &cand) > cap_now {
+                if !clean && running.is_empty() {
+                    // Degraded capacity cannot hold even a lone candidate
+                    // that fits the healthy deployment. Wait for the next
+                    // fault event (a repair restores capacity); with none
+                    // left, the capacity is gone for good — typed
+                    // rejection, not an infinite stall.
+                    if next_event < events.len() {
+                        now = now.max(events[next_event].at_s);
+                        faults_due!();
+                    } else {
+                        rejections.push(Rejection {
+                            id: cand.req.id,
+                            reason: RejectReason::CapacityLost,
+                        });
+                        pending.remove(cand_idx);
+                        books.resolve_victim(cand.req.id, now);
+                    }
+                    continue 'admit;
+                }
                 // The candidate fits an empty batch (oversized requests were
                 // rejected above), so this hold always ends as completions
                 // or further preemptions free KV.
@@ -429,10 +770,18 @@ pub fn run_policy(
             }
 
             // Admit: fresh requests pay prefill; resumed requests pay the
-            // policy's preferred KV recovery.
+            // policy's preferred KV recovery. Fault victims *always*
+            // recompute — the failed rank's shard is gone, so there is
+            // nothing to page back in.
             debug_assert_eq!(pending[cand_idx], cand, "candidate index tracked");
             let q = pending.remove(cand_idx);
-            now += if q.resume_generated == 0 {
+            if !clean {
+                books.resolve_victim(q.req.id, now);
+            }
+            let mut cost = if !clean && q.retries > 0 {
+                books.rob.recomputed_tokens += q.kv_tokens_on_admit();
+                engine.prefill_ms(1, q.kv_tokens_on_admit()) / 1e3
+            } else if q.resume_generated == 0 {
                 engine.prefill_ms(1, q.req.prompt_len) / 1e3
             } else {
                 match policy.preemption_mode() {
@@ -444,6 +793,10 @@ pub fn run_policy(
                     PreemptionMode::PageOut => engine.kv_swap_s(q.kv_tokens_on_admit()),
                 }
             };
+            if !clean && !books.state.dead.is_empty() {
+                cost *= books.state.compute_slowdown();
+            }
+            now += cost;
             running.push(RunningRequest {
                 req: q.req,
                 admitted_s: now,
@@ -451,10 +804,14 @@ pub fn run_policy(
                 preemptions: q.preemptions,
                 first_admitted_s: q.first_admitted_s.unwrap_or(now),
                 first_token_s: q.first_token_s,
+                retries: q.retries,
             });
         }
         peak_batch = peak_batch.max(running.len());
         if running.is_empty() {
+            if pending.is_empty() {
+                break;
+            }
             continue;
         }
 
@@ -470,8 +827,22 @@ pub fn run_policy(
             let step = engine.decode_step(batch, bucket);
             (step.total_ms(), step.comm_ms())
         });
-        now += ms / 1e3;
-        comm_s += step_comm_ms / 1e3;
+        if clean || books.state.is_clean() {
+            now += ms / 1e3;
+            comm_s += step_comm_ms / 1e3;
+        } else {
+            // Survivors absorb the dead ranks' compute; the communication
+            // share stretches by the degraded-link factor (same model as
+            // `parallel::allreduce_us_degraded`).
+            let slow = if books.state.dead.is_empty() {
+                1.0
+            } else {
+                books.state.compute_slowdown()
+            };
+            let eff_ms = (ms - step_comm_ms) * slow + step_comm_ms * books.state.link_factor;
+            now += eff_ms / 1e3;
+            comm_s += step_comm_ms * books.state.link_factor / 1e3;
+        }
         output_tokens += batch;
 
         // Advance and retire.
@@ -491,6 +862,18 @@ pub fn run_policy(
         });
     }
 
+    if !clean {
+        // Close the books: a run can end while degraded or with a recovery
+        // window still open (every victim rejected late in the run).
+        if !books.state.dead.is_empty() {
+            books.rob.downtime_s += now - books.state.degraded_since;
+        }
+        if let Some(t0) = books.recover_started.take() {
+            books.rob.time_to_recover_s += now - t0;
+            books.rob.recoveries += 1;
+        }
+    }
+
     finish_report(
         policy.name(),
         now,
@@ -498,7 +881,8 @@ pub fn run_policy(
         peak_batch,
         comm_s,
         preemptions,
-        rejected,
+        rejections,
+        books.rob,
         completions,
     )
 }
@@ -627,6 +1011,7 @@ impl<'a> ContinuousBatcher<'a> {
                         preemptions: 0,
                         first_admitted_s: f.admitted_s,
                         first_token_s: f.first_token_s,
+                        retries: 0,
                     };
                     completions.push(complete(&view, now));
                     false
@@ -644,6 +1029,7 @@ impl<'a> ContinuousBatcher<'a> {
             0.0,
             0,
             Vec::new(),
+            RobustnessStats::default(),
             completions,
         )
     }
@@ -701,13 +1087,27 @@ mod tests {
 
     #[test]
     fn empty_report_yields_none_not_panic() {
-        let report = finish_report("fcfs", 0.0, 0, 0, 0.0, 0, Vec::new(), Vec::new());
+        let report = finish_report(
+            "fcfs",
+            0.0,
+            0,
+            0,
+            0.0,
+            0,
+            Vec::new(),
+            RobustnessStats::default(),
+            Vec::new(),
+        );
         assert_eq!(report.latency_percentile(0.99), None);
         assert_eq!(report.ttft_percentile(0.5), None);
         assert_eq!(report.mean_queue_s(), None);
         assert_eq!(report.slo_attainment(), None);
         assert_eq!(report.class_latency_percentile(PriorityClass::Batch, 0.5), None);
         assert!(report.per_class().is_empty());
+        // Degenerate-duration guards for the robustness views.
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.goodput_tps(), 0.0);
+        assert!(report.rejected_for(RejectReason::Oversized).is_empty());
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub mod prelude {
     pub use crate::bf16::{Bf16, Matrix};
     pub use crate::gpu::device::{DeviceSpec, Gpu};
     pub use crate::kernels::shapes::{LayerKind, LlmModel};
-    pub use crate::serve::engine::{EngineBuilder, EngineKind, ServingEngine};
+    pub use crate::serve::engine::{EngineBuilder, EngineError, EngineKind, ServingEngine};
+    pub use crate::serve::fault::{
+        FaultEvent, FaultKind, FaultPlan, RejectReason, Rejection, RetryPolicy,
+    };
+    pub use crate::serve::metrics::RobustnessStats;
     pub use crate::serve::policy::{
         Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo,
         SloEdf,
