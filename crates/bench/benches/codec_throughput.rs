@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use zipserv_bf16::gen::WeightGen;
 use zipserv_core::TbeCompressor;
 use zipserv_entropy::huffman::ChunkedHuffman;
-use zipserv_entropy::rans::RansBlob;
+use zipserv_entropy::rans::{PlanarRansBlob, RansBlob};
 use zipserv_entropy::split::split_planes;
 
 fn bench(c: &mut Criterion) {
@@ -26,16 +26,25 @@ fn bench(c: &mut Criterion) {
     group.bench_function("rans32", |b| {
         b.iter(|| RansBlob::compress(black_box(&planes.exponents), 32).expect("ok"));
     });
+    group.bench_function("rans32_planar", |b| {
+        b.iter(|| PlanarRansBlob::compress(black_box(&planes.exponents), 32).expect("ok"));
+    });
     group.finish();
 
     let tbe = TbeCompressor::new().compress(&w).expect("tileable");
     let huff = ChunkedHuffman::compress(&planes.exponents, 8192).expect("ok");
     let rans = RansBlob::compress(&planes.exponents, 32).expect("ok");
+    let planar = PlanarRansBlob::compress(&planes.exponents, 32).expect("ok");
     let mut group = c.benchmark_group("codec_decode");
     group.throughput(Throughput::Elements(n));
     group.bench_function("tca_tbe", |b| b.iter(|| black_box(&tbe).decompress()));
     group.bench_function("huffman", |b| b.iter(|| black_box(&huff).decompress().expect("ok")));
     group.bench_function("rans32", |b| b.iter(|| black_box(&rans).decompress().expect("ok")));
+    // Same table, same symbols, but per-stream payload partitions: the
+    // decode loop carries no cross-stream byte-cursor dependence.
+    group.bench_function("rans32_planar", |b| {
+        b.iter(|| black_box(&planar).decompress().expect("ok"));
+    });
     group.finish();
 }
 

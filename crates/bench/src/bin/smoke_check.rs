@@ -127,7 +127,7 @@ fn main() -> ExitCode {
 
     // (name, current ratio, baseline ratio) — measured-in-the-same-run
     // kernel ratios first, then the deterministic TP-scaling model ratios.
-    let ratio_pairs: [(&str, &str, &str); 4] = [
+    let ratio_pairs: [(&str, &str, &str); 5] = [
         (
             "blocked_vs_naive_fig11_slice",
             "fig11/zipgemm_real_512x4096xb32/naive_reference",
@@ -137,6 +137,15 @@ fn main() -> ExitCode {
             "blocked_vs_naive_64x64",
             "fig12/zipgemm_naive_64x64xb32",
             "fig12/zipgemm_blocked_64x64xb32",
+        ),
+        (
+            // The table-driven decoder's speedup over the lanewise
+            // reference on one tile — the tentpole ratio that broke the
+            // 232 ns decode floor. One-sided: only the LUT path getting
+            // slower (relative to lanewise, same run) is a regression.
+            "decode_ns_per_tile",
+            "fig12/decode_tile_lanewise",
+            "fig12/decode_tile_lut",
         ),
         (
             "tca_tbe_vs_huffman_decomp",

@@ -79,7 +79,8 @@ impl PackedTile {
         for (p, slot) in out.iter_mut().enumerate() {
             let c = self.codeword(p);
             if c != 0 {
-                *slot = Bf16::from_packed(self.high_freq[hf], base_exp.wrapping_add(c));
+                // Same saturating exponent contract as `crate::decompress`.
+                *slot = Bf16::from_packed(self.high_freq[hf], base_exp.saturating_add(c));
                 hf += 1;
             } else {
                 *slot = Bf16::from_bits(self.fallback[fb]);

@@ -142,6 +142,7 @@ impl TbeCompressor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use zipserv_bf16::gen::WeightGen;

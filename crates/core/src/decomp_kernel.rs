@@ -7,7 +7,7 @@
 //! divergence, coalesced 64-bit bitmap loads and no shared-memory LUTs, so
 //! it streams at near-copy bandwidth.
 
-use crate::decompress::DecodeCost;
+use crate::decompress::{DecodeCost, DecodePath};
 use crate::format::layout::TbeMatrix;
 use crate::zipgemm::ZipGemm;
 use zipserv_gpu_sim::kernel::{ExecutionMode, KernelProfile};
@@ -20,8 +20,16 @@ use zipserv_gpu_sim::occupancy::LaunchGrid;
 pub const DECOMP_EFFICIENCY: f64 = 0.90;
 
 /// Builds the cost sheet for decompressing a whole [`TbeMatrix`] to global
-/// memory (reads compressed arrays, writes the dense BF16 matrix).
+/// memory (reads compressed arrays, writes the dense BF16 matrix), priced
+/// for the lanewise reference path.
 pub fn decomp_kernel_profile(w: &TbeMatrix) -> KernelProfile {
+    decomp_kernel_profile_for(w, DecodePath::Lanewise)
+}
+
+/// Builds the decompression cost sheet priced for a specific
+/// [`DecodePath`]. The decode count (one per tile) is path-independent;
+/// only the instruction mix and shared-memory traffic change.
+pub fn decomp_kernel_profile_for(w: &TbeMatrix, path: DecodePath) -> KernelProfile {
     let stats = w.stats();
     let compressed = stats.compressed_bytes() as u64;
     let raw = stats.raw_bytes as u64;
@@ -32,9 +40,9 @@ pub fn decomp_kernel_profile(w: &TbeMatrix) -> KernelProfile {
     p.dram = DramTraffic::streaming(compressed, raw).with_efficiency(DECOMP_EFFICIENCY);
     // A decompression pass decodes each tile exactly once (one consumer).
     let decodes = DecodeCost::tile_decodes(tiles, 1, true);
-    p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
+    p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::for_path(path).lds_per_tile);
     debug_assert_eq!(decodes * crate::format::FRAG_ELEMS as u64, elems);
-    p.alu = ZipGemm::decode_mix(elems);
+    p.alu = ZipGemm::decode_mix_for(path, elems);
     p.divergence = 1.0;
     // One thread block per BlockTile.
     p.grid = LaunchGrid {
@@ -48,6 +56,7 @@ pub fn decomp_kernel_profile(w: &TbeMatrix) -> KernelProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::compress::TbeCompressor;

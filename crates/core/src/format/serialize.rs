@@ -137,6 +137,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TbeMatrix, TbeError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::compress::TbeCompressor;

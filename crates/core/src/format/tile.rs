@@ -91,7 +91,10 @@ impl EncodedTile {
         for (p, slot) in out.iter_mut().enumerate() {
             if (indicator >> p) & 1 == 1 {
                 let c = self.codeword(p);
-                let e = base_exp.wrapping_add(c);
+                // Saturating per the decoder-wide exponent contract (see
+                // `crate::decompress`): valid encodings never exceed 255,
+                // corrupt ones pin at 255 instead of wrapping.
+                let e = base_exp.saturating_add(c);
                 *slot = Bf16::from_packed(self.high_freq[hf], e);
                 hf += 1;
             } else {

@@ -9,9 +9,9 @@
 //!   to be copy-pasted between the serial and parallel paths;
 //! * [`ActPanel`] — the activation matrix pre-converted to `f32` once per
 //!   pass (instead of once per output row that consumes it);
-//! * [`decode_tile_f32`] — the per-tile decode cache: one lanewise decode
-//!   plus one BF16→f32 widening per FragTile per pass, reused across every
-//!   `N`-block that consumes the tile;
+//! * [`decode_tile_f32`] — the per-tile decode cache: one table-driven
+//!   (LUT) decode plus one BF16→f32 widening per FragTile per pass, reused
+//!   across every `N`-block that consumes the tile;
 //! * [`compute_strip`] — the register-blocked `FRAG_DIM × NB` panel kernel
 //!   that the serial path runs over the whole matrix and each parallel
 //!   worker runs over its strip of tile rows.
@@ -23,7 +23,7 @@
 //! ascending tile order, ascending lane order — so all three paths produce
 //! identical bits.
 
-use crate::decompress::decode_tile_lanewise;
+use crate::decompress::decode_tile_lut;
 use crate::format::layout::{block_sequence, TbeMatrix};
 use crate::format::{FRAG_DIM, FRAG_ELEMS};
 use zipserv_bf16::{Bf16, Matrix};
@@ -106,12 +106,16 @@ impl ActPanel {
 }
 
 /// Decodes one FragTile into an `f32` scratch panel — the per-tile decode
-/// cache. The lanewise decode and the BF16→f32 widening happen exactly once
-/// per tile per pass here; every `N`-block of the micro-kernel then reuses
-/// the cached panel instead of re-converting per FMA.
+/// cache. The decode and the BF16→f32 widening happen exactly once per tile
+/// per pass here; every `N`-block of the micro-kernel then reuses the
+/// cached panel instead of re-converting per FMA.
+///
+/// Selects the table-driven [`decode_tile_lut`] hot path; the lanewise
+/// decoder stays available as the bit-exactness reference (the two are
+/// pinned identical, so this selection cannot change output bits).
 #[inline]
 pub(crate) fn decode_tile_f32(w: &TbeMatrix, seq: usize) -> [f32; FRAG_ELEMS] {
-    let tile = decode_tile_lanewise(w.tile_view(seq), w.base_exp());
+    let tile = decode_tile_lut(w.tile_view(seq), w.base_exp());
     let mut out = [0f32; FRAG_ELEMS];
     for (o, v) in out.iter_mut().zip(tile.iter()) {
         *o = v.to_f32();

@@ -21,7 +21,7 @@
 
 mod microkernel;
 
-use crate::decompress::{decode_tile_lanewise, DecodeCost};
+use crate::decompress::{decode_tile_lanewise, DecodeCost, DecodePath};
 use crate::format::layout::TbeMatrix;
 use crate::format::{FRAG_DIM, FRAG_ELEMS};
 use microkernel::{compute_strip, ActPanel, SeqMap};
@@ -218,9 +218,18 @@ impl ZipGemm {
         y
     }
 
-    /// The instruction mix of decoding `elements` weights (Figure 12(a)).
+    /// The instruction mix of decoding `elements` weights (Figure 12(a)),
+    /// priced for the lanewise reference path.
     pub fn decode_mix(elements: u64) -> InstrMix {
-        let c = DecodeCost::TCA_TBE;
+        Self::decode_mix_for(DecodePath::Lanewise, elements)
+    }
+
+    /// The instruction mix of decoding `elements` weights on a specific
+    /// [`DecodePath`]. The LUT path trades popcount/plane-extract scalar
+    /// ops for shared-memory table reads (priced via
+    /// [`DecodeCost::lds_per_tile`] in the kernel profile, not here).
+    pub fn decode_mix_for(path: DecodePath, elements: u64) -> InstrMix {
+        let c = DecodeCost::for_path(path);
         let mut mix = InstrMix::new();
         mix.add(InstrKind::Lop3, c.lop3 * elements);
         mix.add(InstrKind::Iadd, c.iadd * elements);
@@ -247,11 +256,22 @@ impl ZipGemm {
     }
 
     /// Builds the GPU cost sheet for `Y_{M×N} = W_{M×K} X_{K×N}` with
-    /// compressed weights.
+    /// compressed weights, priced for the lanewise reference path (the
+    /// calibrated Figure-11/12 configuration).
     pub fn kernel_profile(&self, w: &TbeMatrix, n: u64) -> KernelProfile {
+        self.kernel_profile_for(w, n, DecodePath::Lanewise)
+    }
+
+    /// Builds the GPU cost sheet priced for a specific [`DecodePath`].
+    ///
+    /// The decode *count* is path-independent (one decode per tile per
+    /// pass, from [`DecodeCost::tile_decodes`]); only the per-element
+    /// instruction mix and the per-tile shared-memory traffic change.
+    pub fn kernel_profile_for(&self, w: &TbeMatrix, n: u64, path: DecodePath) -> KernelProfile {
         let m = w.rows() as u64;
         let k = w.cols() as u64;
         let stats = w.stats();
+        let cost = DecodeCost::for_path(path);
 
         let weight_bytes = stats.compressed_bytes() as u64;
         let act_bytes = 2 * k * n;
@@ -266,9 +286,8 @@ impl ZipGemm {
         // Per-tile decode caching: each tile is decoded once per pass, no
         // matter how many N-blocks consume it.
         let decodes = DecodeCost::tile_decodes(tiles, n.div_ceil(TILE_N), true);
-        profile.smem =
-            SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
-        profile.alu = Self::decode_mix(decodes * FRAG_ELEMS as u64);
+        profile.smem = SharedMemTraffic::conflict_free(decodes * cost.lds_per_tile);
+        profile.alu = Self::decode_mix_for(path, decodes * FRAG_ELEMS as u64);
         profile.divergence = 1.0; // fixed-length decode: no divergence
         profile.tensor_flops = 2.0 * m as f64 * n as f64 * k as f64;
         profile.grid = LaunchGrid::for_gemm(m, n, TILE_M, TILE_N, self.split_k)
@@ -281,6 +300,7 @@ impl ZipGemm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::compress::TbeCompressor;
@@ -474,5 +494,48 @@ mod tests {
         assert_eq!(mix.count(InstrKind::Popc), 1000);
         assert_eq!(mix.count(InstrKind::Lop3), 3000);
         assert_eq!(mix.total(), 9000);
+    }
+
+    #[test]
+    fn lut_decode_mix_drops_popcount_for_table_reads() {
+        let mix = ZipGemm::decode_mix_for(DecodePath::Lut, 1000);
+        assert_eq!(mix.count(InstrKind::Popc), 0);
+        assert_eq!(mix.count(InstrKind::Lop3), 1000);
+        assert_eq!(mix.total(), 5000);
+        // The default mix is the lanewise one.
+        assert_eq!(
+            ZipGemm::decode_mix(1000).total(),
+            ZipGemm::decode_mix_for(DecodePath::Lanewise, 1000).total()
+        );
+    }
+
+    #[test]
+    fn profile_paths_agree_on_decode_counts() {
+        // Path-awareness changes the per-element pricing, never the number
+        // of decodes: same smem-transactions-per-lds ratio, same ALU
+        // ops-per-element ratio, same DRAM/tensor work.
+        let w = WeightGen::new(0.018).seed(23).matrix(256, 256);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let lane = ZipGemm::new().kernel_profile_for(&tbe, 64, DecodePath::Lanewise);
+        let lut = ZipGemm::new().kernel_profile_for(&tbe, 64, DecodePath::Lut);
+        let decodes = DecodeCost::tile_decodes(tbe.tile_count() as u64, 1, true);
+        assert_eq!(
+            lane.smem.transactions,
+            decodes * DecodeCost::TCA_TBE.lds_per_tile
+        );
+        assert_eq!(
+            lut.smem.transactions,
+            decodes * DecodeCost::TCA_TBE_LUT.lds_per_tile
+        );
+        assert_eq!(
+            lane.alu.total(),
+            decodes * 64 * DecodeCost::TCA_TBE.ops_per_element()
+        );
+        assert_eq!(
+            lut.alu.total(),
+            decodes * 64 * DecodeCost::TCA_TBE_LUT.ops_per_element()
+        );
+        assert_eq!(lane.dram.read_bytes, lut.dram.read_bytes);
+        assert_eq!(lane.tensor_flops, lut.tensor_flops);
     }
 }

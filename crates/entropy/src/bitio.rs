@@ -164,6 +164,7 @@ impl<'a> BitReader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

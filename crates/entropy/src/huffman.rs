@@ -642,6 +642,7 @@ impl ChunkedHuffman {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

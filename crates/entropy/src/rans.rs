@@ -7,6 +7,17 @@
 //! can decode in parallel — exactly the design whose *per-symbol
 //! data-dependence* (§3.2 ❸: the state update depends on the decoded symbol)
 //! the paper identifies as the SIMT bottleneck.
+//!
+//! Two frame layouts are provided:
+//!
+//! * [`RansBlob`] — all streams share one renormalization byte sequence, so
+//!   stream `s` cannot take its next byte until every other stream has taken
+//!   its turn. Faithful to the serial-dependence baseline, but the shared
+//!   cursor forces a strict round-robin decode order.
+//! * [`PlanarRansBlob`] — each stream owns a contiguous payload partition
+//!   and its own byte cursor (the planar layout GPU decoders actually ship).
+//!   Streams decode independently, in any order or all at once in lockstep
+//!   rounds, so entropy decode parallelizes *within* a single tile's frame.
 
 use crate::{CodecError, CompressionStats};
 
@@ -245,7 +256,157 @@ impl RansBlob {
     }
 }
 
+/// A planar multi-stream rANS blob: stream `s` owns symbols
+/// `s, s + N, s + 2N, …` *and* a contiguous payload partition holding only
+/// its own renormalization bytes.
+///
+/// This removes the cross-stream byte-cursor dependence of [`RansBlob`]:
+/// every stream carries its own state and its own cursor, so the decode of
+/// one stream never waits on another. A warp decodes one symbol per lane
+/// per lockstep round ([`PlanarRansBlob::decompress`]), and a single stream
+/// can be decoded standalone ([`PlanarRansBlob::decompress_stream`]) — the
+/// property that lets entropy decode parallelize within one tile.
+///
+/// The price is a per-stream length header (4 bytes/stream) in the frame,
+/// accounted for in [`PlanarRansBlob::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanarRansBlob {
+    freq: [u32; 256],
+    /// Final encoder states, one per stream.
+    states: Vec<u32>,
+    /// Per-stream renormalization bytes, each in decode order.
+    payloads: Vec<Vec<u8>>,
+    n_symbols: usize,
+    /// FNV-1a checksum of the raw input, verified after decode.
+    checksum: u64,
+}
+
+impl PlanarRansBlob {
+    /// Stream count matching one GPU warp, as in [`RansBlob::DEFAULT_STREAMS`].
+    pub const DEFAULT_STREAMS: usize = 32;
+
+    /// Compresses `data` into `n_streams` independent planar streams.
+    ///
+    /// All streams share one frequency table (one shared-memory table per
+    /// tile on the GPU); only the payload bytes are partitioned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::EmptyInput`] for an empty input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams == 0`.
+    pub fn compress(data: &[u8], n_streams: usize) -> Result<Self, CodecError> {
+        assert!(n_streams > 0, "need at least one stream");
+        let mut counts = [0u64; 256];
+        for &b in data {
+            counts[b as usize] += 1;
+        }
+        let table = RansTable::from_counts(&counts)?;
+
+        // Encode each stream's subsequence in reverse into its own payload;
+        // unlike `RansBlob`, bytes from different streams never interleave.
+        let mut states = vec![RANS_L; n_streams];
+        let mut payloads = vec![Vec::new(); n_streams];
+        for i in (0..data.len()).rev() {
+            let stream = i % n_streams;
+            encode_symbol(&mut states[stream], &mut payloads[stream], &table, data[i]);
+        }
+        for payload in &mut payloads {
+            payload.reverse();
+        }
+        Ok(PlanarRansBlob {
+            freq: table.frequencies(),
+            states,
+            payloads,
+            n_symbols: data.len(),
+            checksum: crate::checksum64(data),
+        })
+    }
+
+    /// Decompresses the blob back to the original byte stream.
+    ///
+    /// Runs the streams in lockstep rounds — round `r` decodes symbol `r`
+    /// of every stream, each from its own state and cursor. Every step in a
+    /// round is independent of the others; on a GPU the round is one
+    /// warp-wide instruction, here it is a loop that could be a SIMD lane
+    /// per stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if any stream's payload is
+    /// truncated, or [`CodecError::ChecksumMismatch`] if the frame decodes
+    /// to the wrong bytes.
+    pub fn decompress(&self) -> Result<Vec<u8>, CodecError> {
+        let table = RansTable::from_frequencies(self.freq);
+        let n = self.payloads.len();
+        let mut states = self.states.clone();
+        let mut cursors: Vec<_> = self.payloads.iter().map(|p| p.iter().copied()).collect();
+        let mut out = vec![0u8; self.n_symbols];
+        let mut base = 0;
+        while base < self.n_symbols {
+            let lanes = n.min(self.n_symbols - base);
+            for stream in 0..lanes {
+                out[base + stream] =
+                    decode_symbol(&mut states[stream], &mut cursors[stream], &table)?;
+            }
+            base += lanes;
+        }
+        crate::verify_checksum(&out, self.checksum)?;
+        Ok(out)
+    }
+
+    /// Decodes a single stream standalone, returning its symbol subsequence
+    /// (`data[stream], data[stream + N], …`) — no other stream's state or
+    /// payload is touched.
+    ///
+    /// The frame checksum covers the whole input, so a lone stream cannot
+    /// be integrity-checked here; callers that decode stream-by-stream must
+    /// verify the reassembled frame (as [`PlanarRansBlob::decompress`]
+    /// does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if this stream's payload is
+    /// truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream >= self.stream_count()`.
+    pub fn decompress_stream(&self, stream: usize) -> Result<Vec<u8>, CodecError> {
+        let n = self.payloads.len();
+        assert!(stream < n, "stream {stream} out of range ({n} streams)");
+        let table = RansTable::from_frequencies(self.freq);
+        let mut state = self.states[stream];
+        let mut cursor = self.payloads[stream].iter().copied();
+        let count = self.n_symbols.saturating_sub(stream).div_ceil(n);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(decode_symbol(&mut state, &mut cursor, &table)?);
+        }
+        Ok(out)
+    }
+
+    /// Compression statistics: payload partitions + per-stream states and
+    /// length headers + frequency table (256 × 12-bit entries packed) +
+    /// length header + frame checksum.
+    pub fn stats(&self) -> CompressionStats {
+        let payload: usize = self.payloads.iter().map(Vec::len).sum();
+        CompressionStats {
+            raw_bytes: self.n_symbols,
+            compressed_bytes: payload + 8 * self.payloads.len() + 384 + 16 + 8,
+        }
+    }
+
+    /// Number of planar streams.
+    pub fn stream_count(&self) -> usize {
+        self.payloads.len()
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -387,6 +548,110 @@ mod tests {
         assert!(matches!(
             blob.decompress(),
             Err(CodecError::UnexpectedEof) | Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn planar_roundtrip_across_stream_counts() {
+        for n_streams in [1, 2, 8, 32] {
+            let data = skewed_data(12_345);
+            let blob = PlanarRansBlob::compress(&data, n_streams).unwrap();
+            assert_eq!(blob.stream_count(), n_streams);
+            assert_eq!(blob.decompress().unwrap(), data, "streams {n_streams}");
+        }
+    }
+
+    #[test]
+    fn planar_short_inputs_roundtrip() {
+        // Fewer symbols than streams leaves most streams empty; they must
+        // still frame and decode correctly.
+        for len in 1..64usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 % 5) as u8).collect();
+            let blob = PlanarRansBlob::compress(&data, 32).unwrap();
+            assert_eq!(blob.decompress().unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn planar_empty_input_rejected() {
+        assert_eq!(
+            PlanarRansBlob::compress(&[], 32),
+            Err(CodecError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn planar_streams_decode_independently_in_any_order() {
+        // The point of the planar layout: each stream is self-contained.
+        // Decode the streams standalone, in reverse order, and reassemble —
+        // the result must match both the input and the lockstep decode.
+        let data = skewed_data(9_001);
+        let n = 8;
+        let blob = PlanarRansBlob::compress(&data, n).unwrap();
+        let mut reassembled = vec![0u8; data.len()];
+        for stream in (0..n).rev() {
+            let lane = blob.decompress_stream(stream).unwrap();
+            for (r, byte) in lane.into_iter().enumerate() {
+                reassembled[stream + r * n] = byte;
+            }
+        }
+        assert_eq!(reassembled, data);
+        assert_eq!(blob.decompress().unwrap(), data);
+    }
+
+    #[test]
+    fn planar_stream_matches_its_subsequence() {
+        let data = skewed_data(1_000);
+        let n = 32;
+        let blob = PlanarRansBlob::compress(&data, n).unwrap();
+        for stream in [0, 1, 7, 31] {
+            let expect: Vec<u8> = data.iter().copied().skip(stream).step_by(n).collect();
+            assert_eq!(blob.decompress_stream(stream).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn planar_compression_tracks_interleaved() {
+        // Partitioning the payload must not cost measurable ratio: both
+        // layouts emit the same renormalization bytes, just routed to
+        // different buffers. Only the per-stream headers differ.
+        let data = skewed_data(200_000);
+        let shared = RansBlob::compress(&data, 32).unwrap();
+        let planar = PlanarRansBlob::compress(&data, 32).unwrap();
+        let payload: usize = planar.payloads.iter().map(Vec::len).sum();
+        let diff = payload.abs_diff(shared.payload.len());
+        assert!(diff <= 64, "payload sizes diverged by {diff} bytes");
+        assert_eq!(planar.decompress().unwrap(), data);
+    }
+
+    #[test]
+    fn planar_truncation_detected() {
+        let data = skewed_data(5_000);
+        let mut blob = PlanarRansBlob::compress(&data, 8).unwrap();
+        let cut = blob.payloads[3].len() / 2;
+        blob.payloads[3].truncate(cut);
+        assert!(matches!(
+            blob.decompress(),
+            Err(CodecError::UnexpectedEof) | Err(CodecError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            blob.decompress_stream(3),
+            Err(CodecError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn planar_corruption_fails_checksum() {
+        let data = skewed_data(5_000);
+        let mut blob = PlanarRansBlob::compress(&data, 32).unwrap();
+        let mid = blob.payloads[5].len() / 2;
+        blob.payloads[5][mid] ^= 0x10;
+        assert!(blob.decompress().is_err(), "corruption must not pass");
+        let mut tampered = PlanarRansBlob::compress(&data, 32).unwrap();
+        tampered.checksum ^= 1;
+        assert!(matches!(
+            tampered.decompress(),
+            Err(CodecError::ChecksumMismatch { .. })
         ));
     }
 

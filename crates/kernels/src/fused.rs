@@ -10,7 +10,7 @@
 
 use zipserv_bf16::{Bf16, Matrix};
 use zipserv_gpu_sim::device::{Arch, Tier};
-use zipserv_core::decompress::DecodeCost;
+use zipserv_core::decompress::{DecodeCost, DecodePath};
 use zipserv_core::format::layout::TbeMatrix;
 use zipserv_core::format::FRAG_ELEMS;
 use zipserv_core::zipgemm::{ZipGemm, TILE_M, TILE_N};
@@ -147,8 +147,23 @@ impl FusedZipGemm {
         (size_eff * crowding).clamp(0.05, 1.0)
     }
 
-    /// Builds the fused kernel's cost sheet for `n` tokens on `spec`.
+    /// Builds the fused kernel's cost sheet for `n` tokens on `spec`,
+    /// priced for the lanewise reference path (the calibrated paper
+    /// configuration).
     pub fn kernel_profile(stats: &WeightStats, n: u64, spec: &DeviceSpec) -> KernelProfile {
+        Self::kernel_profile_for(stats, n, spec, DecodePath::Lanewise)
+    }
+
+    /// Builds the fused kernel's cost sheet priced for a specific
+    /// [`DecodePath`]. The decode count is path-independent (one decode per
+    /// tile per pass); only the instruction mix and shared-memory traffic
+    /// change.
+    pub fn kernel_profile_for(
+        stats: &WeightStats,
+        n: u64,
+        spec: &DeviceSpec,
+        path: DecodePath,
+    ) -> KernelProfile {
         let act_bytes = 2 * stats.k * n;
         let out_bytes = 2 * stats.m * n;
         let elems = stats.m * stats.k;
@@ -160,8 +175,9 @@ impl FusedZipGemm {
         // Per-tile decode caching: one decode per tile per pass, not one per
         // consuming N-block.
         let decodes = DecodeCost::tile_decodes(tiles, n.div_ceil(TILE_N), true);
-        p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
-        p.alu = ZipGemm::decode_mix(decodes * FRAG_ELEMS as u64);
+        p.smem =
+            SharedMemTraffic::conflict_free(decodes * DecodeCost::for_path(path).lds_per_tile);
+        p.alu = ZipGemm::decode_mix_for(path, decodes * FRAG_ELEMS as u64);
         p.divergence = 1.0;
         p.tensor_flops = 2.0 * stats.m as f64 * n as f64 * stats.k as f64;
         p.grid = LaunchGrid::for_gemm(stats.m, n, TILE_M, TILE_N, 2).with_residency(2);
@@ -177,15 +193,23 @@ impl FusedZipGemm {
     }
 
     /// The standalone ZipServ-Decomp kernel (Figure 13) at paper scale:
-    /// reads the compressed arrays, writes the dense matrix.
+    /// reads the compressed arrays, writes the dense matrix. Priced for the
+    /// lanewise reference path.
     pub fn decomp_profile(stats: &WeightStats) -> KernelProfile {
+        Self::decomp_profile_for(stats, DecodePath::Lanewise)
+    }
+
+    /// The standalone decompression cost sheet priced for a specific
+    /// [`DecodePath`].
+    pub fn decomp_profile_for(stats: &WeightStats, path: DecodePath) -> KernelProfile {
         let elems = stats.m * stats.k;
         let mut p = KernelProfile::empty("zipserv-decomp");
         p.dram = DramTraffic::streaming(stats.compressed_bytes, stats.raw_bytes())
             .with_efficiency(zipserv_core::decomp_kernel::DECOMP_EFFICIENCY);
         let decodes = DecodeCost::tile_decodes(elems / FRAG_ELEMS as u64, 1, true);
-        p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::TCA_TBE.lds_per_tile);
-        p.alu = ZipGemm::decode_mix(elems);
+        p.smem =
+            SharedMemTraffic::conflict_free(decodes * DecodeCost::for_path(path).lds_per_tile);
+        p.alu = ZipGemm::decode_mix_for(path, elems);
         p.grid = LaunchGrid {
             blocks: (elems / 4096).max(1),
             blocks_per_sm: 2,
@@ -329,6 +353,50 @@ mod tests {
         assert_eq!(
             DecodeCost::tile_decodes(tiles, 512u64.div_ceil(TILE_N), false),
             tiles * 8
+        );
+    }
+
+    #[test]
+    fn decode_accounting_agrees_across_profiles_for_both_paths() {
+        // Satellite pin: cached one-decode-per-tile-per-pass counting must
+        // agree between ZipGemm::kernel_profile_for, FusedZipGemm profiles
+        // and the decomp profiles, on both decode paths. The per-element op
+        // count differs by path, the decode *count* never does.
+        use zipserv_core::decomp_kernel::decomp_kernel_profile_for;
+
+        let w = WeightGen::new(0.018).seed(9).matrix(512, 512);
+        let tbe = TbeCompressor::new().compress(&w).unwrap();
+        let stats = WeightStats::from_tbe(&tbe);
+        let spec = Gpu::Rtx4090.spec();
+        let tiles = tbe.tile_count() as u64;
+        let elems = tiles * FRAG_ELEMS as u64;
+
+        for path in [DecodePath::Lanewise, DecodePath::Lut] {
+            let ops = DecodeCost::for_path(path).ops_per_element();
+            let lds = DecodeCost::for_path(path).lds_per_tile;
+            // One GEMM pass at n <= TILE_N: one N-block, so cached decode
+            // count == tile count in every profile.
+            let core_gemm = ZipGemm::new().kernel_profile_for(&tbe, 32, path);
+            let fused_gemm = FusedZipGemm::kernel_profile_for(&stats, 32, &spec, path);
+            let core_decomp = decomp_kernel_profile_for(&tbe, path);
+            let fused_decomp = FusedZipGemm::decomp_profile_for(&stats, path);
+            for (name, p) in [
+                ("core gemm", &core_gemm),
+                ("fused gemm", &fused_gemm),
+                ("core decomp", &core_decomp),
+                ("fused decomp", &fused_decomp),
+            ] {
+                assert_eq!(p.alu.total(), elems * ops, "{name} {path:?}");
+                assert_eq!(p.smem.transactions, tiles * lds, "{name} {path:?}");
+            }
+        }
+        // And the defaults are the lanewise pricing.
+        assert_eq!(
+            ZipGemm::new().kernel_profile(&tbe, 32).alu.total(),
+            ZipGemm::new()
+                .kernel_profile_for(&tbe, 32, DecodePath::Lanewise)
+                .alu
+                .total()
         );
     }
 

@@ -322,7 +322,7 @@ impl EngineBuilder {
         let micro_batches = self.micro_batches.unwrap_or(2 * cluster.pp()).max(1);
         let plan = MemoryPlan::try_plan(self.model, &cluster, self.kind.weight_format())
             .map_err(EngineError::DoesNotFit)?;
-        Ok(ServingEngine {
+        let mut engine = ServingEngine {
             kind: self.kind,
             model: self.model,
             cluster,
@@ -332,7 +332,14 @@ impl EngineBuilder {
             micro_batches,
             fault_plan: self.fault_plan,
             retry: self.retry,
-        })
+            kv_capacity: 0,
+        };
+        // Capacity is a pure function of the deployment, but deriving it
+        // means constructing every per-rank page allocator — O(pages) work
+        // that once ran on each `kv_capacity_tokens` call, dominating
+        // multi-rank scheduler runs. Compute it once here.
+        engine.kv_capacity = engine.compute_kv_capacity_tokens();
+        Ok(engine)
     }
 }
 
@@ -348,6 +355,9 @@ pub struct ServingEngine {
     micro_batches: u32,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
+    /// KV capacity in tokens, derived once at build time (see
+    /// [`ServingEngine::kv_capacity_tokens`]).
+    kv_capacity: u64,
 }
 
 impl Clone for ServingEngine {
@@ -362,6 +372,7 @@ impl Clone for ServingEngine {
             micro_batches: self.micro_batches,
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
+            kv_capacity: self.kv_capacity,
         }
     }
 }
@@ -589,6 +600,29 @@ impl ServingEngine {
         }
     }
 
+    /// The key under which a [`ServingEngine::decode_step`] result may be
+    /// cached and shared across batch sizes.
+    ///
+    /// A single-stage step depends on the exact batch, so the key *is* the
+    /// batch. A pipelined step depends on the batch only through its
+    /// micro-batch shape — the per-micro batch `ceil(batch / m)` and the
+    /// clamped micro-batch count `m` — so distinct batches that quantize
+    /// to the same shape cost identical steps and share one key. Keying a
+    /// step cache on the raw batch instead silently defeats it under
+    /// micro-batching: every batch size in a run is a fresh miss that
+    /// re-prices a shape already priced (the tp4_pp2 deployments ran ~11×
+    /// the tp4 simulator cost before the schedulers switched to this key).
+    pub fn step_cache_key(&self, batch: u64) -> u64 {
+        if self.cluster.pp() == 1 {
+            return batch;
+        }
+        let sched = self.pipeline_schedule(batch);
+        let m = u64::from(sched.micro_batches);
+        let bm = batch.div_ceil(m);
+        debug_assert!(bm < (1 << 32), "per-micro batch overflows the packed key");
+        (bm << 32) | m
+    }
+
     /// The single-stage (TP-only) decode-step model — the historical cost
     /// path, reused per micro-batch by the pipelined wrapper.
     fn decode_step_single(&self, batch: u64, context: u64) -> StepBreakdown {
@@ -779,7 +813,18 @@ impl ServingEngine {
     /// rank stalls admission exactly like real hardware. Non-paged engines
     /// lose ~40% of the region to fragmentation and static
     /// over-reservation.
+    ///
+    /// The value is derived once at build time; this accessor is O(1).
+    /// (It used to rebuild every per-rank allocator on each call — O(pages)
+    /// per rank — which made the accessor the dominant cost of multi-rank
+    /// scheduler runs.)
     pub fn kv_capacity_tokens(&self) -> u64 {
+        self.kv_capacity
+    }
+
+    /// The build-time computation behind [`ServingEngine::kv_capacity_tokens`]:
+    /// sizes every per-rank allocator and takes the bottleneck.
+    fn compute_kv_capacity_tokens(&self) -> u64 {
         let raw = self.kv_shards().capacity_tokens();
         if self.kind.paged_kv() {
             raw

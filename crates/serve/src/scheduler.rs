@@ -124,8 +124,42 @@ pub struct ScheduleReport {
     /// `Default`) on clean runs, preserving bit-compatible reports when
     /// the [`FaultPlan`] is empty.
     pub robustness: RobustnessStats,
+    /// Step-cache observability: how often the scheduler re-priced a
+    /// decode step versus reusing a cached one. Purely diagnostic — the
+    /// cached values are exact, so hit rate never changes a report's
+    /// timing fields.
+    pub step_cache: StepCacheStats,
     /// Name of the policy that produced this report.
     pub policy: String,
+}
+
+/// Hit/miss counters for the scheduler's per-`(shape, context-bucket)`
+/// decode-step cache.
+///
+/// Misses are bounded by the number of *distinct step shapes* a run
+/// visits, not the number of decode steps: on pipeline-parallel engines
+/// the cache keys on [`ServingEngine::step_cache_key`]'s micro-batch
+/// shape, so batch sizes that quantize to the same shape share an entry.
+/// A low [`StepCacheStats::hit_rate`] on a long run means the engine
+/// model is being re-run per step — the regression this accounting
+/// exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepCacheStats {
+    /// Decode steps priced from a cached entry.
+    pub hits: u64,
+    /// Decode steps that ran the engine's step model.
+    pub misses: u64,
+}
+
+impl StepCacheStats {
+    /// Fraction of decode steps served from cache (1.0 for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
 }
 
 impl ScheduleReport {
@@ -295,6 +329,7 @@ fn finish_report(
     preemptions: u64,
     rejections: Vec<Rejection>,
     robustness: RobustnessStats,
+    step_cache: StepCacheStats,
     completions: Vec<Completion>,
 ) -> ScheduleReport {
     ScheduleReport {
@@ -310,6 +345,7 @@ fn finish_report(
         rejected: rejections.iter().map(|r| r.id).collect(),
         rejections,
         robustness,
+        step_cache,
         policy: policy.to_string(),
         completions,
     }
@@ -554,10 +590,16 @@ pub fn run_policy_faulted(
     let mut output_tokens = 0u64;
     let mut preemptions = 0u64;
     let mut comm_s = 0.0f64;
-    // Step times cached per (batch, context bucket): (total ms, comm ms).
-    // The cached pair is fault-independent — degradation scales it *after*
-    // the lookup — so the key needs no fault epoch.
+    // Step times cached per (step-shape key, context bucket): (total ms,
+    // comm ms). The key is `engine.step_cache_key(batch)` — the raw batch
+    // on single-stage engines, the micro-batch shape on pipelined ones,
+    // where distinct batches collapse onto identical step costs (keying on
+    // the raw batch defeated the cache there: every batch size was a fresh
+    // miss pricing a shape already priced). The cached pair is
+    // fault-independent — degradation scales it *after* the lookup — so
+    // the key needs no fault epoch.
     let mut step_cache: HashMap<(u64, u64), (f64, f64)> = HashMap::new();
+    let mut cache_stats = StepCacheStats::default();
 
     // Worst-case KV demand if `cand` joins the current batch (same
     // whole-lifetime accounting as the legacy loop).
@@ -823,7 +865,13 @@ pub fn run_policy_faulted(
             .sum::<u64>()
             / batch;
         let bucket = (mean_context / 256).max(1) * 256;
-        let (ms, step_comm_ms) = *step_cache.entry((batch, bucket)).or_insert_with(|| {
+        let key = (engine.step_cache_key(batch), bucket);
+        if step_cache.contains_key(&key) {
+            cache_stats.hits += 1;
+        } else {
+            cache_stats.misses += 1;
+        }
+        let (ms, step_comm_ms) = *step_cache.entry(key).or_insert_with(|| {
             let step = engine.decode_step(batch, bucket);
             (step.total_ms(), step.comm_ms())
         });
@@ -883,6 +931,7 @@ pub fn run_policy_faulted(
         preemptions,
         rejections,
         books.rob,
+        cache_stats,
         completions,
     )
 }
@@ -945,8 +994,13 @@ impl<'a> ContinuousBatcher<'a> {
         let mut peak_batch = 0usize;
         let mut output_tokens = 0u64;
 
-        // Cache step times: keyed by (batch, context bucket).
+        // Cache step times: keyed by (batch, context bucket). The raw-batch
+        // key is part of the frozen arithmetic; on the single-stage engines
+        // this oracle is compared on, it coincides with
+        // `ServingEngine::step_cache_key`, so the hit/miss counters stay
+        // bit-compatible with the generic loop's.
         let mut step_cache: HashMap<(u64, u64), f64> = HashMap::new();
+        let mut cache_stats = StepCacheStats::default();
 
         while !queue.is_empty() || !running.is_empty() {
             // Admit while capacity and the batch cap allow.
@@ -989,6 +1043,11 @@ impl<'a> ContinuousBatcher<'a> {
                 .sum::<u64>()
                 / batch;
             let bucket = (mean_context / 256).max(1) * 256;
+            if step_cache.contains_key(&(batch, bucket)) {
+                cache_stats.hits += 1;
+            } else {
+                cache_stats.misses += 1;
+            }
             let ms = *step_cache
                 .entry((batch, bucket))
                 .or_insert_with(|| self.engine.decode_step(batch, bucket).total_ms());
@@ -1030,6 +1089,7 @@ impl<'a> ContinuousBatcher<'a> {
             0,
             Vec::new(),
             RobustnessStats::default(),
+            cache_stats,
             completions,
         )
     }
@@ -1096,6 +1156,7 @@ mod tests {
             0,
             Vec::new(),
             RobustnessStats::default(),
+            StepCacheStats::default(),
             Vec::new(),
         );
         assert_eq!(report.latency_percentile(0.99), None);

@@ -106,3 +106,68 @@ fn hierarchical_tile_order_is_a_permutation() {
         assert_eq!(sorted.len(), (rows / 8) * (cols / 8));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Decoder-path identity: the table-driven (LUT) and plane-sliced (SIMD)
+// decoders must be bitwise interchangeable with the lanewise reference on
+// *every* representable tile, not just compressor output.
+
+use zipserv::tbe::decompress::{decode_tile_lanewise, decode_tile_lut, decode_tile_simd};
+use zipserv::tbe::format::layout::TileView;
+
+/// An arbitrary — possibly degenerate — raw FragTile: three bit planes,
+/// exactly-sized value buffers, and a base exponent. Alongside fully random
+/// planes, the strategy force-feeds the decoder corners: the all-fallback
+/// tile (`indicator == 0`), the all-high-freq tile (every codeword set),
+/// and single-element tiles whose one codeword (any of 1..=7) sits at
+/// position 0 or 63.
+fn raw_tile() -> impl Strategy<Value = ([u64; 3], Vec<u8>, Vec<u16>, u8)> {
+    (
+        (0u8..8, 1u64..=7, any::<u8>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        proptest::collection::vec(any::<u8>(), 64),
+        proptest::collection::vec(any::<u16>(), 64),
+    )
+        .prop_map(|((mode, c, base), (r0, r1, r2), hf, fb)| {
+            // Half the cases are fully random planes; the rest force-feed
+            // one of the four degenerate corners.
+            let (b0, b1, b2) = match mode {
+                0 => (0, 0, 0),
+                1 => (u64::MAX, r1, r2),
+                2 => (c & 1, (c >> 1) & 1, (c >> 2) & 1),
+                3 => ((c & 1) << 63, ((c >> 1) & 1) << 63, ((c >> 2) & 1) << 63),
+                _ => (r0, r1, r2),
+            };
+            let n = (b0 | b1 | b2).count_ones() as usize;
+            ([b0, b1, b2], hf[..n].to_vec(), fb[..64 - n].to_vec(), base)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_paths_are_bitwise_identical_on_raw_tiles(tile in raw_tile()) {
+        let (bitmaps, hf, fb, base) = tile;
+        let view = TileView { bitmaps: &bitmaps, high_freq: &hf, fallback: &fb };
+        let lanewise = decode_tile_lanewise(view, base);
+        prop_assert_eq!(lanewise, decode_tile_lut(view, base), "lut vs lanewise");
+        prop_assert_eq!(lanewise, decode_tile_simd(view, base), "simd vs lanewise");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn decode_paths_agree_on_every_compressed_tile(m in gaussian_matrix()) {
+        let tbe = TbeCompressor::new().compress(&m).expect("tileable");
+        for seq in 0..tbe.tile_count() {
+            let view = tbe.tile_view(seq);
+            let lanewise = decode_tile_lanewise(view, tbe.base_exp());
+            prop_assert_eq!(lanewise, decode_tile_lut(view, tbe.base_exp()), "tile {}", seq);
+            prop_assert_eq!(lanewise, decode_tile_simd(view, tbe.base_exp()), "tile {}", seq);
+        }
+        prop_assert_eq!(tbe.decompress(), m);
+    }
+}

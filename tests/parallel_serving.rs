@@ -280,3 +280,70 @@ fn preempted_victim_resumes_before_fresh_arrivals() {
         .count();
     assert!(after > 300, "only {after} batch jobs completed after the victim");
 }
+
+/// Regression (micro-batch step-cache key): under pipeline micro-batching
+/// every distinct batch size used to be a fresh step-cache miss, even
+/// though batches that quantize to the same `(ceil(batch/m), m)` shape
+/// cost identical steps — the tp4_pp2 deployment re-priced the engine
+/// model nearly every decode step and ran ~11× the tp4 simulator cost.
+/// Keyed on `ServingEngine::step_cache_key`, the cache stays hot: misses
+/// are bounded by distinct (shape, context-bucket) pairs, not steps.
+#[test]
+fn tp4_pp2_step_cache_stays_hot() {
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_70b)
+        .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2))
+        .build();
+    let arrivals = poisson_arrivals(3.0, 60, 512, 256, 41);
+    let report = run_policy(&engine, &Fcfs, 64, arrivals);
+    assert_eq!(report.completions.len(), 60);
+    let sc = report.step_cache;
+    let steps = sc.hits + sc.misses;
+    assert!(steps > 200, "trace too short to exercise the cache: {steps}");
+    assert!(
+        sc.hit_rate() > 0.9,
+        "pipelined step cache defeated again: {} hits / {} misses",
+        sc.hits,
+        sc.misses
+    );
+}
+
+/// Acceptance pin for the step-cache fix: simulating the tp4_pp2
+/// deployment costs within ~3× of tp4 wall-clock (it ran ~11× before the
+/// shape-keyed cache and the build-time KV capacity). Minimum over
+/// repetitions to shrug off scheduler noise on shared runners.
+#[test]
+fn tp4_pp2_simulation_cost_within_3x_of_tp4() {
+    let tp4 = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_70b)
+        .cluster(GpuCluster::tensor_parallel(Gpu::L40s, 4))
+        .build();
+    let tp4_pp2 = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_70b)
+        .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2))
+        .build();
+    let arrivals = poisson_arrivals(3.0, 40, 512, 64, 41);
+    let time_min = |engine: &ServingEngine| {
+        (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let report = run_policy(engine, &Fcfs, 64, arrivals.clone());
+                assert_eq!(report.completions.len(), 40);
+                t0.elapsed()
+            })
+            .min()
+            .expect("nonzero reps")
+    };
+    let base = time_min(&tp4);
+    let pipelined = time_min(&tp4_pp2);
+    let ratio = pipelined.as_secs_f64() / base.as_secs_f64().max(1e-9);
+    assert!(
+        ratio < 3.0,
+        "tp4_pp2 simulation cost regressed: {:?} vs tp4 {:?} ({ratio:.1}×)",
+        pipelined,
+        base
+    );
+}
