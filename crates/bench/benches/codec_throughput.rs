@@ -38,8 +38,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec_decode");
     group.throughput(Throughput::Elements(n));
     group.bench_function("tca_tbe", |b| b.iter(|| black_box(&tbe).decompress()));
-    group.bench_function("huffman", |b| b.iter(|| black_box(&huff).decompress().expect("ok")));
-    group.bench_function("rans32", |b| b.iter(|| black_box(&rans).decompress().expect("ok")));
+    group.bench_function("huffman", |b| {
+        b.iter(|| black_box(&huff).decompress().expect("ok"))
+    });
+    group.bench_function("rans32", |b| {
+        b.iter(|| black_box(&rans).decompress().expect("ok"))
+    });
     // Same table, same symbols, but per-stream payload partitions: the
     // decode loop carries no cross-stream byte-cursor dependence.
     group.bench_function("rans32_planar", |b| {

@@ -1,0 +1,53 @@
+//! Pipeline-schedule and chunked-prefill race: the PP2 deployment
+//! serving the paper's mixed-priority trace through the legacy
+//! whole-prefill admission path and the streaming chunked-prefill path.
+//!
+//! The printed `figures::pipeline()` tables record the modeled outcomes
+//! — the GPipe-vs-1F1B bubble sweep and the interactive-TTFT payoff,
+//! plus the `FIG_PIPELINE` line the CI smoke check gates on — while the
+//! timed section records simulator cost per prefill mode so
+//! chunked-admission regressions show up in `BENCH_baseline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_gpu_sim::device::Gpu;
+use zipserv_kernels::shapes::LlmModel;
+use zipserv_serve::cluster::GpuCluster;
+use zipserv_serve::engine::{EngineKind, ServingEngine};
+use zipserv_serve::policy::Priority;
+use zipserv_serve::scheduler::run_policy;
+use zipserv_serve::workload::ArrivalMix;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::pipeline());
+    let arrivals = ArrivalMix::paper_mix().generate(12.0, 80, 37);
+    let modes: Vec<(&str, bool)> = vec![("legacy_prefill", false), ("chunked_prefill", true)];
+    let mut group = c.benchmark_group("fig_pipeline/online_80reqs");
+    group.sample_size(10);
+    for (label, chunked) in &modes {
+        let engine = ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 1, 2))
+            .chunked_prefill(*chunked)
+            .build();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                run_policy(
+                    black_box(&engine),
+                    &Priority::default(),
+                    64,
+                    arrivals.clone(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

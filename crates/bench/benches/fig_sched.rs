@@ -35,14 +35,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for policy in &policies {
         group.bench_function(policy.name(), |b| {
-            b.iter(|| {
-                run_policy(
-                    black_box(&engine),
-                    policy.as_ref(),
-                    64,
-                    arrivals.clone(),
-                )
-            });
+            b.iter(|| run_policy(black_box(&engine), policy.as_ref(), 64, arrivals.clone()));
         });
     }
     group.finish();

@@ -27,8 +27,7 @@ fn parse_bench_log(log: &str) -> HashMap<String, f64> {
     let mut out = HashMap::new();
     for line in log.lines() {
         let mut parts = line.split_whitespace();
-        let (Some(id), Some(mean), Some(unit)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(id), Some(mean), Some(unit)) = (parts.next(), parts.next(), parts.next()) else {
             continue;
         };
         if unit != "ns/iter" {
@@ -43,7 +42,8 @@ fn parse_bench_log(log: &str) -> HashMap<String, f64> {
 
 /// Parses a machine-readable `<PREFIX> k1=<x> k2=<y>` line (the
 /// `FIG_TP_SCALING` line from the fig_tp bench, the `FIG_FAULT` line from
-/// fig_fault) into its key/value pairs.
+/// fig_fault, the `FIG_PIPELINE` line from fig_pipeline) into its
+/// key/value pairs.
 fn parse_kv_line(log: &str, prefix: &str) -> HashMap<String, f64> {
     let mut out = HashMap::new();
     for line in log.lines() {
@@ -117,10 +117,10 @@ fn main() -> ExitCode {
     let means = parse_bench_log(&log);
     let tp = parse_kv_line(&log, "FIG_TP_SCALING ");
     let fault = parse_kv_line(&log, "FIG_FAULT ");
+    let pipeline = parse_kv_line(&log, "FIG_PIPELINE ");
 
-    let log_ratio = |num: &str, den: &str| -> Option<f64> {
-        Some(means.get(num)? / means.get(den)?)
-    };
+    let log_ratio =
+        |num: &str, den: &str| -> Option<f64> { Some(means.get(num)? / means.get(den)?) };
     let base_ratio = |num: &str, den: &str| -> Option<f64> {
         Some(baseline_mean_ns(&baseline, num)? / baseline_mean_ns(&baseline, den)?)
     };
@@ -177,6 +177,14 @@ fn main() -> ExitCode {
         ("fig_tp_scaling_tp4", "tp4", &tp),
         ("fig_fault_goodput_ratio", "goodput_ratio", &fault),
         ("fig_fault_availability", "availability", &fault),
+        ("fig_pipeline_min_bubble_gain", "min_bubble_gain", &pipeline),
+        (
+            "fig_pipeline_bubble_gain_pp4_m8",
+            "bubble_gain_pp4_m8",
+            &pipeline,
+        ),
+        ("fig_pipeline_ttft_p99_gain", "ttft_p99_gain", &pipeline),
+        ("fig_pipeline_tput_ratio", "tput_ratio", &pipeline),
     ] {
         match (source.get(key), baseline_number(&baseline, name)) {
             (Some(&current), Some(baseline)) => checks.push(Check {
@@ -190,12 +198,17 @@ fn main() -> ExitCode {
     }
 
     if !missing.is_empty() {
-        eprintln!("smoke_check: missing data for {missing:?} (bench not run or baseline entry absent)");
+        eprintln!(
+            "smoke_check: missing data for {missing:?} (bench not run or baseline entry absent)"
+        );
         return ExitCode::FAILURE;
     }
 
     let mut failed = false;
-    println!("{:<32} {:>9} {:>9} {:>7}  verdict", "ratio", "current", "baseline", "drift");
+    println!(
+        "{:<32} {:>9} {:>9} {:>7}  verdict",
+        "ratio", "current", "baseline", "drift"
+    );
     for c in &checks {
         let verdict = if c.pass() { "ok" } else { "REGRESSION" };
         failed |= !c.pass();
@@ -208,10 +221,17 @@ fn main() -> ExitCode {
         );
     }
     if failed {
-        eprintln!("smoke_check: ratio drifted more than {:.0}% from baseline", 100.0 * TOLERANCE);
+        eprintln!(
+            "smoke_check: ratio drifted more than {:.0}% from baseline",
+            100.0 * TOLERANCE
+        );
         return ExitCode::FAILURE;
     }
-    println!("smoke_check: all {} ratios within {:.0}%", checks.len(), 100.0 * TOLERANCE);
+    println!(
+        "smoke_check: all {} ratios within {:.0}%",
+        checks.len(),
+        100.0 * TOLERANCE
+    );
     ExitCode::SUCCESS
 }
 
@@ -222,7 +242,8 @@ mod tests {
     #[test]
     fn parses_bench_lines_and_scaling() {
         let log = "a/b/c        123.4 ns/iter   55.0 Melem/s\nnot a bench line\n\
-                   FIG_TP_SCALING tp2=1.5 tp4=2.0\nFIG_FAULT goodput_ratio=0.8123 availability=0.9511\n";
+                   FIG_TP_SCALING tp2=1.5 tp4=2.0\nFIG_FAULT goodput_ratio=0.8123 availability=0.9511\n\
+                   FIG_PIPELINE min_bubble_gain=1.67 ttft_p99_gain=5.28 tput_ratio=0.99\n";
         let means = parse_bench_log(log);
         assert_eq!(means.get("a/b/c"), Some(&123.4));
         assert_eq!(means.len(), 1);
@@ -232,6 +253,9 @@ mod tests {
         let fault = parse_kv_line(log, "FIG_FAULT ");
         assert_eq!(fault.get("goodput_ratio"), Some(&0.8123));
         assert_eq!(fault.get("availability"), Some(&0.9511));
+        let pipeline = parse_kv_line(log, "FIG_PIPELINE ");
+        assert_eq!(pipeline.get("min_bubble_gain"), Some(&1.67));
+        assert_eq!(pipeline.get("tput_ratio"), Some(&0.99));
     }
 
     #[test]
@@ -246,16 +270,41 @@ mod tests {
     #[test]
     fn tolerance_band() {
         // Symmetric (deterministic model ratios): both directions gate.
-        let ok = Check { name: "r", current: 1.2, baseline: 1.0, symmetric: true };
+        let ok = Check {
+            name: "r",
+            current: 1.2,
+            baseline: 1.0,
+            symmetric: true,
+        };
         assert!(ok.pass());
-        let bad = Check { name: "r", current: 1.3, baseline: 1.0, symmetric: true };
+        let bad = Check {
+            name: "r",
+            current: 1.3,
+            baseline: 1.0,
+            symmetric: true,
+        };
         assert!(!bad.pass());
         // One-sided (measured speedups): only a drop regresses.
-        let faster = Check { name: "r", current: 2.0, baseline: 1.0, symmetric: false };
+        let faster = Check {
+            name: "r",
+            current: 2.0,
+            baseline: 1.0,
+            symmetric: false,
+        };
         assert!(faster.pass());
-        let slower = Check { name: "r", current: 0.7, baseline: 1.0, symmetric: false };
+        let slower = Check {
+            name: "r",
+            current: 0.7,
+            baseline: 1.0,
+            symmetric: false,
+        };
         assert!(!slower.pass());
-        let dip = Check { name: "r", current: 0.8, baseline: 1.0, symmetric: false };
+        let dip = Check {
+            name: "r",
+            current: 0.8,
+            baseline: 1.0,
+            symmetric: false,
+        };
         assert!(dip.pass());
     }
 }

@@ -30,7 +30,11 @@ fn gateup(model: LlmModel, n: u64) -> GemmShape {
 pub fn fig01() -> String {
     let spec = Gpu::L40s.spec();
     let mut rows = Vec::new();
-    for model in [LlmModel::Llama31_8b, LlmModel::Mistral24b, LlmModel::Qwen25_32b] {
+    for model in [
+        LlmModel::Llama31_8b,
+        LlmModel::Mistral24b,
+        LlmModel::Qwen25_32b,
+    ] {
         for n in [8u64, 16, 32] {
             let shape = gateup(model, n);
             let gemm = CublasTc::time(shape, &spec).total_us;
@@ -116,7 +120,14 @@ pub fn fig05() -> String {
         "Figure 5 — compute intensity, M=K=4096, CR={PAPER_CR} \
          (paper: decoupled -62%, fused +50%):\n{}",
         render(
-            &["N", "CI dense", "CI decoupled", "CI fused", "degradation", "improvement"],
+            &[
+                "N",
+                "CI dense",
+                "CI decoupled",
+                "CI fused",
+                "degradation",
+                "improvement"
+            ],
             &rows
         )
     )
@@ -197,7 +208,11 @@ pub fn fig11() -> String {
     let mut rows = Vec::new();
     for layer in LayerKind::BLOCK {
         let mut row = vec![layer.name().to_string()];
-        for model in [LlmModel::Llama31_8b, LlmModel::Llama31_70b, LlmModel::Llama31_405b] {
+        for model in [
+            LlmModel::Llama31_8b,
+            LlmModel::Llama31_70b,
+            LlmModel::Llama31_405b,
+        ] {
             let shape = layer.gemm_shape(model, 32);
             let dense = CublasTc::time(shape, &spec).total_us;
             let fused = FusedZipGemm::time(&typical_stats(shape.m, shape.k), 32, &spec).total_us;
@@ -225,8 +240,8 @@ pub fn fig12() -> String {
     let dense = dense_profile.execute(&spec);
     let dietgpu = BaselineCodec::DietGpu.decomp_profile(28672, 4096, 2.65);
 
-    let dram_drop = 1.0
-        - fused_profile.dram.read_bytes as f64 / dense_profile.dram.read_bytes as f64;
+    let dram_drop =
+        1.0 - fused_profile.dram.read_bytes as f64 / dense_profile.dram.read_bytes as f64;
     // ALU duty: fraction of the kernel the integer pipes are busy decoding
     // (the paper's NCU run reports 66% ALU utilization with TC utilization
     // held at 71.6% of cuBLAS; our pipeline model hides the decode fully,
@@ -316,15 +331,13 @@ pub fn fig14() -> String {
     let shape = gateup(LlmModel::Llama31_8b, 32);
     let h800 = CublasTc::time(shape, &Gpu::H800.spec()).total_us;
     let d5090 = CublasTc::time(shape, &Gpu::Rtx5090.spec()).total_us;
-    let z5090 = FusedZipGemm::time(&typical_stats(shape.m, shape.k), 32, &Gpu::Rtx5090.spec()).total_us;
+    let z5090 =
+        FusedZipGemm::time(&typical_stats(shape.m, shape.k), 32, &Gpu::Rtx5090.spec()).total_us;
     format!(
         "Figure 14 — cross-generation comparison, GateUp @ batch 32 (ms) \
          (paper: 5090 speedups 1.34x/1.87x; 4090+ZipGEMM ~ A100 cuBLAS):\n{}\
          RTX5090 deficit vs H800: dense {} -> fused {} (paper: 53.3% -> 14.1%)\n",
-        render(
-            &["model", "GPU", "cuBLAS", "ZipGEMM", "speedup"],
-            &rows
-        ),
+        render(&["model", "GPU", "cuBLAS", "ZipGEMM", "speedup"], &rows),
         pct(d5090 / h800 - 1.0),
         pct(z5090 / h800 - 1.0),
     )
@@ -354,7 +367,13 @@ pub fn fig15() -> String {
         "Figure 15 — N sweep, 28672x4096, RTX4090 \
          (paper: fused wins for N<=128; decoupled overhead ~4%/2% at 8192/16384):\n{}",
         render(
-            &["N", "cuBLAS ms", "ZipGEMM ms", "fused speedup", "decoupled ovh"],
+            &[
+                "N",
+                "cuBLAS ms",
+                "ZipGEMM ms",
+                "fused speedup",
+                "decoupled ovh"
+            ],
             &rows
         )
     )
@@ -389,8 +408,14 @@ pub fn offline() -> String {
 pub fn deployments() -> Vec<(LlmModel, GpuCluster)> {
     vec![
         (LlmModel::Llama31_8b, GpuCluster::single(Gpu::Rtx4090)),
-        (LlmModel::Mistral24b, GpuCluster::tensor_parallel(Gpu::L40s, 2)),
-        (LlmModel::Llama31_70b, GpuCluster::tensor_parallel(Gpu::L40s, 4)),
+        (
+            LlmModel::Mistral24b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 2),
+        ),
+        (
+            LlmModel::Llama31_70b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 4),
+        ),
     ]
 }
 
@@ -403,10 +428,7 @@ pub fn fig16() -> String {
     for (model, cluster) in deployments() {
         let mut rows = Vec::new();
         for w in Workload::paper_sweep() {
-            let mut row = vec![
-                format!("bs{}", w.batch),
-                w.output_len.to_string(),
-            ];
+            let mut row = vec![format!("bs{}", w.batch), w.output_len.to_string()];
             let zip = ServingEngine::new(EngineKind::ZipServ, model, cluster).serve(w);
             for kind in EngineKind::ALL {
                 let r = ServingEngine::new(kind, model, cluster).serve(w);
@@ -428,7 +450,14 @@ pub fn fig16() -> String {
             cluster.count,
             cluster.gpu.name(),
             render(
-                &["batch", "out", "ZipServ", "vLLM", "Transformers", "DFloat11"],
+                &[
+                    "batch",
+                    "out",
+                    "ZipServ",
+                    "vLLM",
+                    "Transformers",
+                    "DFloat11"
+                ],
                 &rows
             )
         ));
@@ -496,7 +525,11 @@ pub fn fig18() -> String {
                 .total_us;
             let best_base = BaselineCodec::ALL
                 .iter()
-                .map(|c| c.decomp_profile(shape.m, shape.k, 2.65).execute(&spec).total_us)
+                .map(|c| {
+                    c.decomp_profile(shape.m, shape.k, 2.65)
+                        .execute(&spec)
+                        .total_us
+                })
                 .fold(f64::INFINITY, f64::min);
             rows.push(vec![
                 gpu.name().to_string(),
@@ -535,12 +568,7 @@ pub fn memory_table() -> String {
     .map(|&m| {
         let raw = m.dims().weight_bytes_bf16() as f64 / 1e9;
         let comp = raw * zipserv_serve::engine::ZIPSERV_WEIGHT_FRACTION;
-        vec![
-            m.name().to_string(),
-            f2(raw),
-            f2(comp),
-            pct(comp / raw),
-        ]
+        vec![m.name().to_string(), f2(raw), f2(comp), pct(comp / raw)]
     })
     .collect();
     format!(
@@ -575,7 +603,13 @@ pub fn ablation() -> String {
          explicit codebook: zero coverage gain on contiguous (LLM-like) exponent\n\
          distributions (Theorem A.2), at a shared-memory LUT cost per element.\n",
         render(
-            &["GPU", "packed-bitstream ops", "packed decode", "LUT coverage gain", "LUT decode"],
+            &[
+                "GPU",
+                "packed-bitstream ops",
+                "packed decode",
+                "LUT coverage gain",
+                "LUT decode"
+            ],
             &rows
         )
     )
@@ -673,7 +707,11 @@ pub fn tp_parallel() -> String {
         "Multi-GPU serving — §6.5 deployments + 2-node PP projection, ZipServ, batch 32 @ seq 1024:\n",
     );
     let deployments: Vec<(&str, LlmModel, GpuCluster)> = vec![
-        ("1xRTX4090", LlmModel::Llama31_8b, GpuCluster::single(Gpu::Rtx4090)),
+        (
+            "1xRTX4090",
+            LlmModel::Llama31_8b,
+            GpuCluster::single(Gpu::Rtx4090),
+        ),
         (
             "2xL40S (TP2)",
             LlmModel::Mistral24b,
@@ -756,7 +794,14 @@ pub fn tp_parallel() -> String {
     out.push_str(&format!(
         "\nTP scaling — LLaMA3.1-8B on 1/2/4 L40S (all-reduce caps the speedup below linear):\n{}",
         render(
-            &["degree", "step ms", "allreduce ms", "speedup", "efficiency", "KV tokens"],
+            &[
+                "degree",
+                "step ms",
+                "allreduce ms",
+                "speedup",
+                "efficiency",
+                "KV tokens"
+            ],
             &rows
         )
     ));
@@ -788,21 +833,30 @@ pub fn fault_recovery() -> String {
         .build();
     let arrivals = ArrivalMix::paper_mix().generate(12.0, 100, 37);
     let retry = RetryPolicy::default();
-    let run = |plan: &FaultPlan| run_policy_faulted(&engine, &Fcfs, 64, arrivals.clone(), plan, &retry);
+    let run =
+        |plan: &FaultPlan| run_policy_faulted(&engine, &Fcfs, 64, arrivals.clone(), plan, &retry);
     let clean = run(&FaultPlan::default());
     let (fail_at, repair_at) = (0.3 * clean.duration_s, 0.6 * clean.duration_s);
     let scenarios: Vec<(&str, FaultPlan)> = vec![
         ("clean", FaultPlan::default()),
         (
             "rank fail + repair",
-            FaultPlan::new().rank_fail(fail_at, 0).rank_repair(repair_at, 0),
+            FaultPlan::new()
+                .rank_fail(fail_at, 0)
+                .rank_repair(repair_at, 0),
         ),
-        ("rank fail, no repair", FaultPlan::new().rank_fail(fail_at, 0)),
+        (
+            "rank fail, no repair",
+            FaultPlan::new().rank_fail(fail_at, 0),
+        ),
         (
             "link degrade 4x",
             FaultPlan::new().link_degrade(fail_at, 4.0, repair_at - fail_at),
         ),
-        ("seeded chaos (7)", FaultPlan::seeded(7, clean.duration_s, 2)),
+        (
+            "seeded chaos (7)",
+            FaultPlan::seeded(7, clean.duration_s, 2),
+        ),
     ];
     let mut rows = Vec::new();
     let mut recovered = None;
@@ -885,7 +939,11 @@ pub fn prefill_overlap() -> String {
             format!("bs{batch}/p{prompt}"),
             f2(floor),
             format!("{} ({:+.1}%)", f2(serial), 100.0 * (serial / floor - 1.0)),
-            format!("{} ({:+.1}%)", f2(overlapped), 100.0 * (overlapped / floor - 1.0)),
+            format!(
+                "{} ({:+.1}%)",
+                f2(overlapped),
+                100.0 * (overlapped / floor - 1.0)
+            ),
         ]);
     }
     format!(
@@ -893,7 +951,12 @@ pub fn prefill_overlap() -> String {
          (the stream-overlapped pipeline can dip below the serial dense floor because\n\
          the kernel-graph simulator also overlaps consecutive GEMMs' memory/compute)\n",
         render(
-            &["workload", "dense floor (ms)", "serial decoupled", "stream-overlapped"],
+            &[
+                "workload",
+                "dense floor (ms)",
+                "serial decoupled",
+                "stream-overlapped"
+            ],
             &rows
         )
     )
@@ -928,6 +991,127 @@ pub fn quant_stack() -> String {
     )
 }
 
+/// Pipeline schedules and chunked prefill: GPipe-vs-1F1B bubble
+/// fractions across the (pp, m) grid, then the serving-level payoff —
+/// chunked prefill vs legacy whole-prefill admission on the paper's
+/// mixed-priority traffic at pp = 2.
+///
+/// Prints a machine-readable `FIG_PIPELINE` line consumed by the CI
+/// smoke check: the minimum GPipe/1F1B bubble gain over the grid (> 1
+/// certifies 1F1B strictly below GPipe at every swept point), one
+/// representative grid point, the interactive p99 TTFT gain from chunked
+/// prefill, and its throughput ratio. All four are deterministic model
+/// outputs, so the gates are symmetric like `FIG_TP_SCALING`.
+pub fn pipeline() -> String {
+    use zipserv_serve::parallel::{PipelineKind, PipelineSchedule};
+    use zipserv_serve::policy::{Priority, PriorityClass};
+    use zipserv_serve::scheduler::{run_policy, ScheduleReport};
+    use zipserv_serve::workload::ArrivalMix;
+
+    // GPipe vs 1F1B across the grid. The slot count s + m - 1 is shared;
+    // only the idle fraction moves.
+    let mut rows = Vec::new();
+    let mut min_gain = f64::INFINITY;
+    let mut gain_pp4_m8 = 0.0;
+    for pp in [2u32, 4, 8] {
+        for m in [2u32, 4, 8, 16] {
+            let gpipe = PipelineSchedule::new(pp, m);
+            let one_f = PipelineSchedule::new(pp, m).with_kind(PipelineKind::OneFOneB);
+            let gain = gpipe.bubble_fraction() / one_f.bubble_fraction();
+            min_gain = min_gain.min(gain);
+            if pp == 4 && m == 8 {
+                gain_pp4_m8 = gain;
+            }
+            rows.push(vec![
+                format!("pp{pp}/m{m}"),
+                gpipe.slots().to_string(),
+                pct(gpipe.bubble_fraction()),
+                pct(one_f.bubble_fraction()),
+                format!("{gain:.2}x"),
+            ]);
+        }
+    }
+    let mut out = format!(
+        "Pipeline schedules — GPipe vs 1F1B bubble fraction over the (pp, m) grid:\n{}\
+         (1F1B keeps the s + m - 1 slot count but shrinks steady-state idle\n\
+         to (pp - 1) / m slots; minimum bubble gain over the grid: {min_gain:.2}x)\n",
+        render(
+            &["deployment", "slots", "GPipe bubble", "1F1B bubble", "gain"],
+            &rows
+        )
+    );
+
+    // Chunked prefill vs legacy whole-prefill on the pp = 2 deployment:
+    // interactive prompts overtake long batch prefills, so the tail TTFT
+    // collapses while throughput stays within a few percent.
+    let arrivals = ArrivalMix::paper_mix().generate(12.0, 80, 37);
+    let build = |chunked: bool| {
+        ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 1, 2))
+            .chunked_prefill(chunked)
+            .build()
+    };
+    let interactive_ttfts = |r: &ScheduleReport| -> Vec<f64> {
+        let mut v: Vec<f64> = r
+            .completions
+            .iter()
+            .filter(|c| c.priority == PriorityClass::Interactive)
+            .map(|c| c.ttft_s)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFT"));
+        v
+    };
+    let quantile = |sorted: &[f64], q: f64| -> f64 {
+        let idx = ((sorted.len() as f64) * q).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    };
+    let legacy = run_policy(&build(false), &Priority::default(), 64, arrivals.clone());
+    let chunked = run_policy(&build(true), &Priority::default(), 64, arrivals);
+    let mut rows = Vec::new();
+    let mut p99 = [0.0f64; 2];
+    for (i, (label, r)) in [
+        ("legacy whole-prefill", &legacy),
+        ("chunked prefill", &chunked),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let ttfts = interactive_ttfts(r);
+        p99[i] = quantile(&ttfts, 0.99);
+        rows.push(vec![
+            label.to_string(),
+            f2(ttfts.iter().sum::<f64>() / ttfts.len() as f64),
+            f2(quantile(&ttfts, 0.5)),
+            f2(p99[i]),
+            format!("{:.1}", r.throughput_tps),
+            r.preemptions.to_string(),
+        ]);
+    }
+    let ttft_gain = p99[0] / p99[1];
+    let tput_ratio = chunked.throughput_tps / legacy.throughput_tps;
+    out.push_str(&format!(
+        "\nChunked prefill — ZipServ PP2 (L40S, LLaMA3.1-8B), paper mix (12 req/s, 80 reqs), priority policy:\n{}",
+        render(
+            &[
+                "prefill mode",
+                "int. TTFT mean",
+                "int. TTFT p50",
+                "int. TTFT p99",
+                "tput t/s",
+                "preempt",
+            ],
+            &rows
+        )
+    ));
+    out.push_str(&format!(
+        "FIG_PIPELINE min_bubble_gain={min_gain:.4} bubble_gain_pp4_m8={gain_pp4_m8:.4} \
+         ttft_p99_gain={ttft_gain:.4} tput_ratio={tput_ratio:.4}\n"
+    ));
+    out
+}
+
 /// A named experiment: `(id, generator)`.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -953,6 +1137,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("online", online),
         ("sched", sched),
         ("tp", tp_parallel),
+        ("pipeline", pipeline),
         ("fault", fault_recovery),
         ("kv", kv_compression),
         ("prefill", prefill_overlap),
@@ -968,7 +1153,15 @@ mod tests {
     fn fast_figures_render() {
         // Smoke-test the cheap generators (the expensive ones run in the
         // repro binary / criterion benches).
-        for gen in [fig05 as fn() -> String, codeword, fig12, fig14, fig15, fig18, memory_table] {
+        for gen in [
+            fig05 as fn() -> String,
+            codeword,
+            fig12,
+            fig14,
+            fig15,
+            fig18,
+            memory_table,
+        ] {
             let s = gen();
             assert!(s.len() > 100, "figure output too short: {s}");
         }
@@ -978,8 +1171,21 @@ mod tests {
     fn experiment_index_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
         for want in [
-            "fig01", "fig02", "contiguity", "fig05", "codeword", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "offline", "fig16", "fig17", "fig18", "memory",
+            "fig01",
+            "fig02",
+            "contiguity",
+            "fig05",
+            "codeword",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "offline",
+            "fig16",
+            "fig17",
+            "fig18",
+            "memory",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

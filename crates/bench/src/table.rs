@@ -63,10 +63,7 @@ mod tests {
 
     #[test]
     fn aligns_columns() {
-        let t = render(
-            &["a", "long_header"],
-            &[vec!["xxxx".into(), "1".into()]],
-        );
+        let t = render(&["a", "long_header"], &[vec!["xxxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0].len(), lines[2].len());

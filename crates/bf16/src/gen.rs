@@ -132,12 +132,12 @@ impl WeightGen {
         let mut g = Gaussian::new();
         let data: Vec<Bf16> = (0..rows * cols)
             .map(|_| {
-                let sigma = if self.outlier_fraction > 0.0 && rng.gen::<f64>() < self.outlier_fraction
-                {
-                    self.sigma * self.outlier_scale
-                } else {
-                    self.sigma
-                };
+                let sigma =
+                    if self.outlier_fraction > 0.0 && rng.gen::<f64>() < self.outlier_fraction {
+                        self.sigma * self.outlier_scale
+                    } else {
+                        self.sigma
+                    };
                 Bf16::from_f32(g.sample_scaled(&mut rng, 0.0, sigma) as f32)
             })
             .collect();
@@ -197,8 +197,11 @@ mod tests {
     fn sample_std_matches_sigma() {
         let v = WeightGen::new(0.02).seed(3).vector(100_000);
         let mean: f64 = v.iter().map(|x| x.to_f32() as f64).sum::<f64>() / v.len() as f64;
-        let var: f64 =
-            v.iter().map(|x| (x.to_f32() as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        let var: f64 = v
+            .iter()
+            .map(|x| (x.to_f32() as f64 - mean).powi(2))
+            .sum::<f64>()
+            / v.len() as f64;
         assert!(mean.abs() < 5e-4, "mean {mean}");
         assert!((var.sqrt() - 0.02).abs() < 5e-4, "std {}", var.sqrt());
     }
@@ -211,8 +214,18 @@ mod tests {
             let v = WeightGen::for_family(family).seed(11).vector(200_000);
             let h = ExponentHistogram::from_values(v);
             let s = ExponentSummary::from_histogram(&h);
-            assert!(s.top3_coverage > 0.60, "{}: top3 {}", family.name(), s.top3_coverage);
-            assert!(s.top7_coverage > 0.95, "{}: top7 {}", family.name(), s.top7_coverage);
+            assert!(
+                s.top3_coverage > 0.60,
+                "{}: top3 {}",
+                family.name(),
+                s.top3_coverage
+            );
+            assert!(
+                s.top7_coverage > 0.95,
+                "{}: top7 {}",
+                family.name(),
+                s.top7_coverage
+            );
             assert!(
                 s.entropy_bits > 2.3 && s.entropy_bits < 3.0,
                 "{}: entropy {}",
@@ -228,14 +241,25 @@ mod tests {
         let hists = survey_histograms(&ModelFamily::ALL, 12, 20_000, 99);
         let s = contiguity_survey(hists.iter());
         assert_eq!(s.matrices, 48);
-        assert!(s.contiguous_fraction > 0.9, "contiguous {}", s.contiguous_fraction);
-        assert!(s.mean_window_coverage > 0.93, "coverage {}", s.mean_window_coverage);
+        assert!(
+            s.contiguous_fraction > 0.9,
+            "contiguous {}",
+            s.contiguous_fraction
+        );
+        assert!(
+            s.mean_window_coverage > 0.93,
+            "coverage {}",
+            s.mean_window_coverage
+        );
     }
 
     #[test]
     fn outliers_widen_the_tail() {
         let base = WeightGen::new(0.02).seed(5).vector(50_000);
-        let tail = WeightGen::new(0.02).seed(5).outliers(0.03, 32.0).vector(50_000);
+        let tail = WeightGen::new(0.02)
+            .seed(5)
+            .outliers(0.03, 32.0)
+            .vector(50_000);
         let max_base = base.iter().map(|x| x.to_f32().abs()).fold(0.0f32, f32::max);
         let max_tail = tail.iter().map(|x| x.to_f32().abs()).fold(0.0f32, f32::max);
         assert!(max_tail > max_base * 4.0, "{max_tail} vs {max_base}");

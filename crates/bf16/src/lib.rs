@@ -33,8 +33,8 @@
 
 mod bf16;
 pub mod gen;
-mod matrix;
 pub mod math;
+mod matrix;
 pub mod stats;
 pub mod theory;
 

@@ -114,7 +114,11 @@ mod tests {
             (-1.0, -0.8427008),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 2e-6, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 2e-6,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
         }
     }
 

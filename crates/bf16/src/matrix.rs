@@ -151,7 +151,10 @@ impl<T: Copy> Matrix<T> {
     where
         T: Default,
     {
-        assert!(tr < self.tile_rows() && tc < self.tile_cols(), "tile out of bounds");
+        assert!(
+            tr < self.tile_rows() && tc < self.tile_cols(),
+            "tile out of bounds"
+        );
         let mut out = [T::default(); 64];
         for r in 0..TILE_DIM {
             let src = (tr * TILE_DIM + r) * self.cols + tc * TILE_DIM;
@@ -166,7 +169,10 @@ impl<T: Copy> Matrix<T> {
     ///
     /// Panics if the tile is out of bounds.
     pub fn set_tile(&mut self, tr: usize, tc: usize, tile: &[T; 64]) {
-        assert!(tr < self.tile_rows() && tc < self.tile_cols(), "tile out of bounds");
+        assert!(
+            tr < self.tile_rows() && tc < self.tile_cols(),
+            "tile out of bounds"
+        );
         for r in 0..TILE_DIM {
             let dst = (tr * TILE_DIM + r) * self.cols + tc * TILE_DIM;
             self.data[dst..dst + TILE_DIM].copy_from_slice(&tile[r * TILE_DIM..(r + 1) * TILE_DIM]);
@@ -186,7 +192,10 @@ impl<T: Copy> core::ops::Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -194,7 +203,10 @@ impl<T: Copy> core::ops::Index<(usize, usize)> for Matrix<T> {
 impl<T: Copy> core::ops::IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -161,7 +161,12 @@ impl ExponentHistogram {
     /// run — the "exponent contiguity" property of §3.1 (true for 99.6% of
     /// the 3,875 surveyed matrices).
     pub fn top_k_is_contiguous(&self, k: usize) -> bool {
-        let top: Vec<u8> = self.by_frequency().iter().take(k).map(|&(e, _)| e).collect();
+        let top: Vec<u8> = self
+            .by_frequency()
+            .iter()
+            .take(k)
+            .map(|&(e, _)| e)
+            .collect();
         if top.len() < k {
             return false;
         }
@@ -408,7 +413,15 @@ mod tests {
             (123, 10),
             (124, 10),
         ]);
-        let b = hist_from_exponents(&[(100, 50), (150, 50), (101, 10), (102, 9), (103, 8), (104, 7), (105, 6)]);
+        let b = hist_from_exponents(&[
+            (100, 50),
+            (150, 50),
+            (101, 10),
+            (102, 9),
+            (103, 8),
+            (104, 7),
+            (105, 6),
+        ]);
         let s = contiguity_survey([&a, &b]);
         assert_eq!(s.matrices, 2);
         assert!((s.contiguous_fraction - 0.5).abs() < 1e-12);

@@ -141,9 +141,7 @@ mod tests {
         let frozen = b.freeze();
         assert_eq!(
             &frozen[..],
-            &[
-                b'A', b'B', 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f
-            ]
+            &[b'A', b'B', 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f]
         );
         assert_eq!((&frozen[..]).remaining(), 17);
     }

@@ -180,7 +180,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter {:?} rejected 10000 consecutive values", self.whence);
+            panic!(
+                "prop_filter {:?} rejected 10000 consecutive values",
+                self.whence
+            );
         }
     }
 
@@ -356,7 +359,10 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            Self { lo: r.start, hi: r.end }
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 

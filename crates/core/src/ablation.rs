@@ -245,7 +245,10 @@ mod tests {
     use zipserv_gpu_sim::device::Gpu;
 
     fn sample_tile(seed: u64) -> [Bf16; FRAG_ELEMS] {
-        let v = WeightGen::new(0.02).seed(seed).outliers(0.05, 50.0).vector(FRAG_ELEMS);
+        let v = WeightGen::new(0.02)
+            .seed(seed)
+            .outliers(0.05, 50.0)
+            .vector(FRAG_ELEMS);
         core::array::from_fn(|i| v[i])
     }
 
@@ -321,7 +324,16 @@ mod tests {
         // A bimodal exponent distribution (not Gaussian-like): top-7 by
         // frequency is non-contiguous and beats any contiguous window.
         let mut hist = ExponentHistogram::new();
-        for &(e, n) in &[(100u8, 50u64), (101, 45), (102, 40), (200, 50), (201, 45), (202, 40), (203, 35), (150, 1)] {
+        for &(e, n) in &[
+            (100u8, 50u64),
+            (101, 45),
+            (102, 40),
+            (200, 50),
+            (201, 45),
+            (202, 40),
+            (203, 35),
+            (150, 1),
+        ] {
             for _ in 0..n {
                 hist.push(Bf16::from_parts(0, e as u16, 0));
             }

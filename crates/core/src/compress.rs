@@ -130,7 +130,9 @@ impl TbeCompressor {
         crossbeam::scope(|scope| {
             let handles: Vec<_> = blocks
                 .chunks(chunk)
-                .map(|shard| scope.spawn(move |_| shard.iter().map(|b| encode_one(b)).collect::<Vec<_>>()))
+                .map(|shard| {
+                    scope.spawn(move |_| shard.iter().map(|b| encode_one(b)).collect::<Vec<_>>())
+                })
                 .collect();
             for h in handles {
                 out.push(h.join().expect("compressor worker panicked"));

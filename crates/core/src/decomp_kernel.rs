@@ -97,6 +97,11 @@ mod tests {
         let bytes = tbe.stats().compressed_bytes() as f64 + tbe.stats().raw_bytes as f64;
         let bound = bytes / (spec.effective_dram_bytes_per_us() * DECOMP_EFFICIENCY);
         assert!(t.total_us >= bound * 0.99, "{} vs {}", t.total_us, bound);
-        assert!(t.total_us <= bound * 1.25 + spec.launch_overhead_us, "{} vs {}", t.total_us, bound);
+        assert!(
+            t.total_us <= bound * 1.25 + spec.launch_overhead_us,
+            "{} vs {}",
+            t.total_us,
+            bound
+        );
     }
 }

@@ -532,7 +532,11 @@ mod tests {
 
         // All-high-freq (indicator == all ones).
         let weights: [Bf16; 64] = core::array::from_fn(|i| {
-            Bf16::from_parts((i % 2) as u16, 124 + (i % 7) as u16, ((i * 2) & 0x7F) as u16)
+            Bf16::from_parts(
+                (i % 2) as u16,
+                124 + (i % 7) as u16,
+                ((i * 2) & 0x7F) as u16,
+            )
         });
         let enc = EncodedTile::encode(&weights, 123);
         assert_eq!(enc.indicator(), u64::MAX);

@@ -42,6 +42,8 @@ mod tests {
         let e = TbeError::NotTileable { rows: 9, cols: 16 };
         assert!(e.to_string().contains("9x16"));
         assert!(TbeError::Empty.to_string().contains("no elements"));
-        assert!(TbeError::Corrupt("bad offsets").to_string().contains("bad offsets"));
+        assert!(TbeError::Corrupt("bad offsets")
+            .to_string()
+            .contains("bad offsets"));
     }
 }

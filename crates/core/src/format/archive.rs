@@ -52,7 +52,10 @@ impl ModelArchive {
 
     /// Total compressed bytes across tensors.
     pub fn compressed_bytes(&self) -> usize {
-        self.tensors.values().map(|t| t.stats().compressed_bytes()).sum()
+        self.tensors
+            .values()
+            .map(|t| t.stats().compressed_bytes())
+            .sum()
     }
 
     /// Total raw BF16 bytes across tensors.
@@ -260,7 +263,10 @@ mod tests {
         let w = WeightGen::new(0.02).seed(3).matrix(64, 64);
         let mut w2 = w.clone();
         w2[(0, 0)] = Bf16::from_f32(w[(0, 0)].to_f32() + 0.001);
-        next.insert("layer.3", TbeCompressor::new().compress(&w2).expect("tileable"));
+        next.insert(
+            "layer.3",
+            TbeCompressor::new().compress(&w2).expect("tileable"),
+        );
 
         let delta = SnapshotDelta::diff(&base, &next);
         assert_eq!(delta.changed_count(), 1);

@@ -27,7 +27,10 @@ pub const PAD_BYTES: usize = 16;
 ///
 /// Each inner vector is one BlockTile's FragTiles in decode order.
 pub fn block_sequence(rows: usize, cols: usize) -> Vec<Vec<(usize, usize)>> {
-    assert!(rows.is_multiple_of(FRAG_DIM) && cols.is_multiple_of(FRAG_DIM), "not tileable");
+    assert!(
+        rows.is_multiple_of(FRAG_DIM) && cols.is_multiple_of(FRAG_DIM),
+        "not tileable"
+    );
     let mut blocks = Vec::new();
     let frag_per_tc = TC_DIM / FRAG_DIM; // 2
     for br in (0..rows).step_by(BLOCK_DIM) {
@@ -99,8 +102,7 @@ impl TbeStats {
 
     /// Average storage bits per weight element.
     pub fn bits_per_element(&self) -> f64 {
-        8.0 * self.compressed_bytes() as f64
-            / (self.high_freq_elems + self.fallback_elems) as f64
+        8.0 * self.compressed_bytes() as f64 / (self.high_freq_elems + self.fallback_elems) as f64
     }
 
     /// Fraction of elements on the high-frequency path (paper: ~96%).
@@ -305,14 +307,7 @@ impl TbeMatrix {
 
     /// Borrows the four storage arrays (for serialization).
     #[allow(clippy::type_complexity)]
-    pub(crate) fn raw_parts(
-        &self,
-    ) -> (
-        &[[u64; 3]],
-        &[u8],
-        &[u16],
-        Vec<(BlockOffset, u32)>,
-    ) {
+    pub(crate) fn raw_parts(&self) -> (&[[u64; 3]], &[u8], &[u16], Vec<(BlockOffset, u32)>) {
         let blocks = self
             .block_offsets
             .iter()
@@ -347,9 +342,7 @@ impl TbeMatrix {
             return Err(E);
         }
         for &(off, _) in &blocks {
-            if off.high_freq as usize > high_freq.len()
-                || off.fallback as usize > fallback.len()
-            {
+            if off.high_freq as usize > high_freq.len() || off.fallback as usize > fallback.len() {
                 return Err(E);
             }
         }

@@ -132,8 +132,16 @@ mod tests {
         let codec = KvPageCodec::new();
         let small = codec.compress(&kv_page(1, 0.01)).expect("tileable");
         let large = codec.compress(&kv_page(2, 100.0)).expect("tileable");
-        assert!(small.ratio() > 1.3, "small-scale page ratio {}", small.ratio());
-        assert!(large.ratio() > 1.3, "large-scale page ratio {}", large.ratio());
+        assert!(
+            small.ratio() > 1.3,
+            "small-scale page ratio {}",
+            small.ratio()
+        );
+        assert!(
+            large.ratio() > 1.3,
+            "large-scale page ratio {}",
+            large.ratio()
+        );
     }
 
     #[test]
@@ -147,7 +155,11 @@ mod tests {
         assert_eq!(stats.pages, 16);
         // Gaussian-ish activations compress to ~71%, extending KV capacity
         // by ~1.4x on top of the weight savings.
-        assert!(stats.ratio() > 1.3 && stats.ratio() < 1.6, "ratio {}", stats.ratio());
+        assert!(
+            stats.ratio() > 1.3 && stats.ratio() < 1.6,
+            "ratio {}",
+            stats.ratio()
+        );
         assert_eq!(stats.capacity_multiplier(), stats.ratio());
     }
 

@@ -39,9 +39,9 @@ pub mod codeword;
 pub mod compress;
 pub mod decomp_kernel;
 pub mod decompress;
-pub mod kv;
 mod error;
 pub mod format;
+pub mod kv;
 pub mod strategy;
 pub mod zipgemm;
 

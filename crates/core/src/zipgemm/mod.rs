@@ -79,11 +79,7 @@ impl ZipGemm {
     ///
     /// Panics if `x.rows() != w.cols()`.
     pub fn multiply(&self, w: &TbeMatrix, x: &Matrix<Bf16>) -> Matrix<f32> {
-        assert_eq!(
-            x.rows(),
-            w.cols(),
-            "activation rows must match weight cols"
-        );
+        assert_eq!(x.rows(), w.cols(), "activation rows must match weight cols");
         let (m, k, n) = (w.rows(), w.cols(), x.cols());
         let mut y = Matrix::<f32>::zeros(m, n);
         if m == 0 || n == 0 {
@@ -107,11 +103,7 @@ impl ZipGemm {
     ///
     /// Panics if `x.rows() != w.cols()`.
     pub fn multiply_reference(&self, w: &TbeMatrix, x: &Matrix<Bf16>) -> Matrix<f32> {
-        assert_eq!(
-            x.rows(),
-            w.cols(),
-            "activation rows must match weight cols"
-        );
+        assert_eq!(x.rows(), w.cols(), "activation rows must match weight cols");
         let (m, k, n) = (w.rows(), w.cols(), x.cols());
         let mut y = Matrix::<f32>::zeros(m, n);
         let seq = SeqMap::new(m, k);
@@ -278,8 +270,8 @@ impl ZipGemm {
         let out_bytes = 2 * m * n;
 
         let mut profile = KernelProfile::empty("zipgemm");
-        profile.dram = DramTraffic::streaming(weight_bytes + act_bytes, out_bytes)
-            .with_efficiency(0.97);
+        profile.dram =
+            DramTraffic::streaming(weight_bytes + act_bytes, out_bytes).with_efficiency(0.97);
         // Conflict-free by construction (§4.2); the residual ~4.7K conflicts
         // of Figure 12(c) are noise next to DietGPU's millions.
         let tiles = w.tile_count() as u64;
@@ -290,8 +282,7 @@ impl ZipGemm {
         profile.alu = Self::decode_mix_for(path, decodes * FRAG_ELEMS as u64);
         profile.divergence = 1.0; // fixed-length decode: no divergence
         profile.tensor_flops = 2.0 * m as f64 * n as f64 * k as f64;
-        profile.grid = LaunchGrid::for_gemm(m, n, TILE_M, TILE_N, self.split_k)
-            .with_residency(2);
+        profile.grid = LaunchGrid::for_gemm(m, n, TILE_M, TILE_N, self.split_k).with_residency(2);
         profile.mode = ExecutionMode::Pipelined {
             overlap_efficiency: Self::overlap_efficiency(m, k),
         };
@@ -355,7 +346,10 @@ mod tests {
     fn blocked_matches_reference_across_n_block_boundaries() {
         // Column counts straddling the NB=16 micro-kernel width: ragged
         // trailing blocks, exact fits, and single columns.
-        let w = WeightGen::new(0.02).seed(41).outliers(0.04, 25.0).matrix(72, 80);
+        let w = WeightGen::new(0.02)
+            .seed(41)
+            .outliers(0.04, 25.0)
+            .matrix(72, 80);
         let tbe = TbeCompressor::new().compress(&w).unwrap();
         for n in [1usize, 2, 7, 15, 16, 17, 31, 32, 33, 48] {
             let x = WeightGen::new(0.6).seed(42 + n as u64).matrix(80, n);
@@ -438,7 +432,10 @@ mod tests {
 
     #[test]
     fn parallel_multiply_is_bitwise_identical() {
-        let w = WeightGen::new(0.02).seed(31).outliers(0.03, 30.0).matrix(192, 128);
+        let w = WeightGen::new(0.02)
+            .seed(31)
+            .outliers(0.03, 30.0)
+            .matrix(192, 128);
         let x = WeightGen::new(0.8).seed(32).matrix(128, 16);
         let tbe = TbeCompressor::new().compress(&w).unwrap();
         let serial = ZipGemm::new().multiply(&tbe, &x);

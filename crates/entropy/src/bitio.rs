@@ -272,7 +272,9 @@ mod tests {
         // Deterministic pseudo-random field widths/values.
         let mut state = 0x1234_5678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let mut fields = Vec::new();
@@ -280,7 +282,11 @@ mod tests {
         for _ in 0..500 {
             let count = next() % 25 + 1;
             let value = next() & ((1u32 << count) - 1).max(1);
-            let value = if count == 32 { value } else { value & ((1 << count) - 1) };
+            let value = if count == 32 {
+                value
+            } else {
+                value & ((1 << count) - 1)
+            };
             w.write_bits(value, count);
             fields.push((value, count));
         }

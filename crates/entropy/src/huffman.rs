@@ -605,7 +605,8 @@ impl ChunkedHuffman {
                 .get(i + 1)
                 .map(|&o| o as usize)
                 .unwrap_or(self.payload.len());
-            let symbols_in_chunk = (self.n_symbols - i * self.chunk_symbols).min(self.chunk_symbols);
+            let symbols_in_chunk =
+                (self.n_symbols - i * self.chunk_symbols).min(self.chunk_symbols);
             let mut r = BitReader::new(&self.payload[off as usize..end]);
             let mut bits = 0u64;
             for _ in 0..symbols_in_chunk {
@@ -739,7 +740,11 @@ mod tests {
         }
         let t = HuffmanTable::from_frequencies(&freqs).unwrap();
         for s in 0..=255u8 {
-            assert!(t.code_len(s) <= MAX_CODE_LEN, "symbol {s}: {}", t.code_len(s));
+            assert!(
+                t.code_len(s) <= MAX_CODE_LEN,
+                "symbol {s}: {}",
+                t.code_len(s)
+            );
         }
         // And the table still decodes a stream drawn from those symbols.
         let data: Vec<u8> = (0..1000).map(|i| (i % 40) as u8).collect();

@@ -147,8 +147,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CodecError::UnexpectedEof.to_string().contains("unexpected end"));
-        assert!(CodecError::Corrupt("bad table").to_string().contains("bad table"));
+        assert!(CodecError::UnexpectedEof
+            .to_string()
+            .contains("unexpected end"));
+        assert!(CodecError::Corrupt("bad table")
+            .to_string()
+            .contains("bad table"));
         let e = CodecError::ChecksumMismatch {
             expected: 1,
             actual: 2,

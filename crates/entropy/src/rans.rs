@@ -150,7 +150,11 @@ fn encode_symbol(state: &mut u32, out: &mut Vec<u8>, table: &RansTable, symbol: 
 
 /// Decodes one symbol from an rANS state, pulling renormalization bytes.
 #[inline]
-fn decode_symbol(state: &mut u32, input: &mut impl Iterator<Item = u8>, table: &RansTable) -> Result<u8, CodecError> {
+fn decode_symbol(
+    state: &mut u32,
+    input: &mut impl Iterator<Item = u8>,
+    table: &RansTable,
+) -> Result<u8, CodecError> {
     let x = *state;
     let slot = x & (PROB_SCALE - 1);
     let symbol = table.symbol_at(slot);
@@ -403,6 +407,88 @@ impl PlanarRansBlob {
     pub fn stream_count(&self) -> usize {
         self.payloads.len()
     }
+
+    /// Serializes the blob to a little-endian wire frame, for embedding in
+    /// on-disk containers (the `.ztbe` format stores entropy-coded
+    /// sections this way):
+    ///
+    /// ```text
+    /// n_streams u32 | n_symbols u64 | checksum u64
+    /// freq      256 × u32
+    /// states    n_streams × u32
+    /// payloads  n_streams × (len u32 | bytes)
+    /// ```
+    ///
+    /// The frame carries the input checksum, so corruption anywhere in the
+    /// payload surfaces as [`CodecError::ChecksumMismatch`] at decode time
+    /// even when the surrounding container's own integrity check passes
+    /// (or was itself tampered with).
+    pub fn to_wire(&self) -> Vec<u8> {
+        let payload: usize = self.payloads.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(4 + 8 + 8 + 1024 + 8 * self.payloads.len() + payload);
+        out.extend_from_slice(&(self.payloads.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.n_symbols as u64).to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+        for f in self.freq {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        for s in &self.states {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for p in &self.payloads {
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Reassembles a blob from its [`PlanarRansBlob::to_wire`] frame.
+    ///
+    /// Structural checks only — the content checksum is verified when the
+    /// blob is actually decompressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] on a zero stream count and
+    /// [`CodecError::UnexpectedEof`] on any truncation.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut buf = bytes;
+        let mut take = |n: usize| -> Result<&[u8], CodecError> {
+            if buf.len() < n {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let (head, rest) = buf.split_at(n);
+            buf = rest;
+            Ok(head)
+        };
+        let le_u32 = |b: &[u8]| u32::from_le_bytes(b.try_into().unwrap_or_default());
+        let n_streams = le_u32(take(4)?) as usize;
+        if n_streams == 0 {
+            return Err(CodecError::Corrupt("planar frame with zero streams"));
+        }
+        let n_symbols = u64::from_le_bytes(take(8)?.try_into().unwrap_or_default()) as usize;
+        let checksum = u64::from_le_bytes(take(8)?.try_into().unwrap_or_default());
+        let mut freq = [0u32; 256];
+        for f in freq.iter_mut() {
+            *f = le_u32(take(4)?);
+        }
+        let mut states = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            states.push(le_u32(take(4)?));
+        }
+        let mut payloads = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            let len = le_u32(take(4)?) as usize;
+            payloads.push(take(len)?.to_vec());
+        }
+        Ok(PlanarRansBlob {
+            freq,
+            states,
+            payloads,
+            n_symbols,
+            checksum,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -494,7 +580,11 @@ mod tests {
         let data = vec![99u8; 100_000];
         let blob = RansBlob::compress(&data, 32).unwrap();
         assert_eq!(blob.decompress().unwrap(), data);
-        assert!(blob.stats().ratio() > 50.0, "ratio {}", blob.stats().ratio());
+        assert!(
+            blob.stats().ratio() > 50.0,
+            "ratio {}",
+            blob.stats().ratio()
+        );
     }
 
     #[test]
@@ -670,5 +760,37 @@ mod tests {
             tampered.decompress(),
             Err(CodecError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn planar_wire_roundtrip() {
+        let data = skewed_data(4_096);
+        let blob = PlanarRansBlob::compress(&data, 32).unwrap();
+        let wire = blob.to_wire();
+        let back = PlanarRansBlob::from_wire(&wire).unwrap();
+        assert_eq!(back, blob);
+        assert_eq!(back.decompress().unwrap(), data);
+        // Truncation anywhere is a typed structural error.
+        assert!(matches!(
+            PlanarRansBlob::from_wire(&wire[..wire.len() - 1]),
+            Err(CodecError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            PlanarRansBlob::from_wire(&wire[..3]),
+            Err(CodecError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn planar_wire_corruption_caught_by_frame_checksum() {
+        // A bit flip deep in a payload partition survives the structural
+        // parse (rANS resynchronizes into plausible garbage) but the frame
+        // checksum riding in the wire format catches it at decode time.
+        let data = skewed_data(4_096);
+        let mut wire = PlanarRansBlob::compress(&data, 32).unwrap().to_wire();
+        let off = wire.len() - 5;
+        wire[off] ^= 0x20;
+        let back = PlanarRansBlob::from_wire(&wire).unwrap();
+        assert!(back.decompress().is_err(), "corruption must not pass");
     }
 }

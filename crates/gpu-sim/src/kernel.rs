@@ -96,8 +96,7 @@ impl KernelProfile {
                     overlap_efficiency > 0.0 && overlap_efficiency <= 1.0,
                     "overlap efficiency in (0,1]"
                 );
-                mem_us.max(compute_us).max(tensor_us) / overlap_efficiency
-                    + spec.launch_overhead_us
+                mem_us.max(compute_us).max(tensor_us) / overlap_efficiency + spec.launch_overhead_us
             }
             ExecutionMode::Serial => mem_us + compute_us + tensor_us + spec.launch_overhead_us,
         };
@@ -227,7 +226,12 @@ mod tests {
         let small = p.execute(&spec);
         p.grid = big_grid();
         let big = p.execute(&spec);
-        assert!(small.mem_us > 3.0 * big.mem_us, "{} vs {}", small.mem_us, big.mem_us);
+        assert!(
+            small.mem_us > 3.0 * big.mem_us,
+            "{} vs {}",
+            small.mem_us,
+            big.mem_us
+        );
     }
 
     #[test]

@@ -48,14 +48,19 @@ impl BlockResources {
     ///
     /// Panics if `threads` is 0 or not a multiple of 32.
     pub fn residency(&self, spec: &DeviceSpec) -> u32 {
-        assert!(self.threads > 0 && self.threads.is_multiple_of(32), "threads must be warps");
+        assert!(
+            self.threads > 0 && self.threads.is_multiple_of(32),
+            "threads must be warps"
+        );
         let by_threads = Self::max_threads_per_sm(spec.arch) / self.threads;
         let regs_per_block = self.registers_per_thread * self.threads;
         let by_registers = Self::REGISTERS_PER_SM
             .checked_div(regs_per_block)
             .unwrap_or(u32::MAX);
         let smem_per_sm = spec.shared_kib_per_sm * 1024;
-        let by_shared = smem_per_sm.checked_div(self.shared_bytes).unwrap_or(u32::MAX);
+        let by_shared = smem_per_sm
+            .checked_div(self.shared_bytes)
+            .unwrap_or(u32::MAX);
         by_threads
             .min(by_registers)
             .min(by_shared)
@@ -86,7 +91,10 @@ impl LaunchGrid {
     ///
     /// Panics if any tile dimension or the split factor is zero.
     pub fn for_gemm(m: u64, n: u64, tile_m: u64, tile_n: u64, split_k: u64) -> Self {
-        assert!(tile_m > 0 && tile_n > 0 && split_k > 0, "tiles must be nonzero");
+        assert!(
+            tile_m > 0 && tile_n > 0 && split_k > 0,
+            "tiles must be nonzero"
+        );
         let blocks = m.div_ceil(tile_m) * n.div_ceil(tile_n) * split_k;
         LaunchGrid {
             blocks,
@@ -127,7 +135,9 @@ impl LaunchGrid {
     /// Fraction of SMs that have any work at all (for grids smaller than
     /// one wave) — the hard ceiling on achievable bandwidth/compute.
     pub fn sm_utilization(&self, spec: &DeviceSpec) -> f64 {
-        let busy = (self.blocks.min(spec.sm_count as u64 * self.blocks_per_sm as u64)) as f64;
+        let busy = (self
+            .blocks
+            .min(spec.sm_count as u64 * self.blocks_per_sm as u64)) as f64;
         (busy / (spec.sm_count as f64 * self.blocks_per_sm as f64)).min(1.0)
     }
 }
@@ -203,7 +213,7 @@ mod tests {
     #[test]
     fn occupancy_limited_by_each_resource() {
         let spec = Gpu::Rtx4090.spec(); // Ada: 1536 threads/SM, 100 KiB smem
-        // Thread-limited: 512-thread blocks, tiny footprint -> 3 blocks.
+                                        // Thread-limited: 512-thread blocks, tiny footprint -> 3 blocks.
         let by_threads = BlockResources {
             threads: 512,
             registers_per_thread: 32,

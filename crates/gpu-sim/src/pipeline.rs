@@ -7,7 +7,6 @@
 //! runs at the speed of its slowest stage; this module models that plus the
 //! fill/drain overhead and an overlap-efficiency knob for barrier costs.
 
-
 /// One pipeline stage: a name and its per-iteration latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stage {
@@ -24,7 +23,10 @@ impl Stage {
     ///
     /// Panics if `time_us` is negative or non-finite.
     pub fn new(name: &'static str, time_us: f64) -> Self {
-        assert!(time_us >= 0.0 && time_us.is_finite(), "stage time must be >= 0");
+        assert!(
+            time_us >= 0.0 && time_us.is_finite(),
+            "stage time must be >= 0"
+        );
         Stage { name, time_us }
     }
 }
@@ -66,10 +68,7 @@ impl Pipeline {
 
     /// The slowest stage's per-iteration time.
     pub fn bottleneck_us(&self) -> f64 {
-        self.stages
-            .iter()
-            .map(|s| s.time_us)
-            .fold(0.0, f64::max)
+        self.stages.iter().map(|s| s.time_us).fold(0.0, f64::max)
     }
 
     /// The bottleneck stage's name.
@@ -173,10 +172,8 @@ mod tests {
     fn decode_hidden_when_not_bottleneck() {
         // The ZipGEMM claim: decode (ALU) time is hidden as long as it is
         // shorter than the mma stage.
-        let without_decode = Pipeline::new(
-            vec![Stage::new("load", 2.0), Stage::new("mma", 3.0)],
-            100,
-        );
+        let without_decode =
+            Pipeline::new(vec![Stage::new("load", 2.0), Stage::new("mma", 3.0)], 100);
         let with_decode = three_stage(100);
         assert!((with_decode.total_us() - without_decode.total_us() - 1.0).abs() < 1e-9);
         // Only the fill differs (one extra stage), not the steady state.

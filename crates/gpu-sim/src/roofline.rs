@@ -209,7 +209,10 @@ mod tests {
             PipelineKind::ZipServFused,
         ] {
             let ci = compute_intensity(s, kind, CR);
-            assert!(is_memory_bound(&spec, ci), "{kind:?} should be memory bound");
+            assert!(
+                is_memory_bound(&spec, ci),
+                "{kind:?} should be memory bound"
+            );
         }
     }
 

@@ -57,7 +57,12 @@ impl StreamSim {
 
     /// Submits a kernel to `stream`, ordered after `deps` (and implicitly
     /// after the previous kernel on the same stream).
-    pub fn submit(&mut self, stream: usize, profile: &KernelProfile, deps: &[KernelId]) -> KernelId {
+    pub fn submit(
+        &mut self,
+        stream: usize,
+        profile: &KernelProfile,
+        deps: &[KernelId],
+    ) -> KernelId {
         let t = profile.execute(&self.spec);
         let id = KernelId(self.kernels.len());
         self.kernels.push(Submitted {
@@ -101,8 +106,16 @@ impl StreamSim {
             }
 
             // Resource shares: pools split equally among demanders.
-            let dram_users = runnable.iter().filter(|&&i| dram_rem[i] > 0.0).count().max(1);
-            let comp_users = runnable.iter().filter(|&&i| comp_rem[i] > 0.0).count().max(1);
+            let dram_users = runnable
+                .iter()
+                .filter(|&&i| dram_rem[i] > 0.0)
+                .count()
+                .max(1);
+            let comp_users = runnable
+                .iter()
+                .filter(|&&i| comp_rem[i] > 0.0)
+                .count()
+                .max(1);
 
             // Time until the first runnable kernel finishes everything.
             let mut dt = f64::INFINITY;
@@ -150,10 +163,7 @@ impl StreamSim {
 
     /// Total makespan of the graph in microseconds.
     pub fn makespan_us(&self) -> f64 {
-        self.run()
-            .iter()
-            .map(|e| e.end_us)
-            .fold(0.0, f64::max)
+        self.run().iter().map(|e| e.end_us).fold(0.0, f64::max)
     }
 }
 
@@ -271,11 +281,7 @@ mod tests {
                 } else {
                     compute_kernel((next() % 100 + 1) as f64 * 1e9)
                 };
-                let deps: Vec<KernelId> = ids
-                    .iter()
-                    .copied()
-                    .filter(|_| next() % 3 == 0)
-                    .collect();
+                let deps: Vec<KernelId> = ids.iter().copied().filter(|_| next() % 3 == 0).collect();
                 let t = p.execute(&spec);
                 dram_total += t.mem_us;
                 times.push(t.total_us);

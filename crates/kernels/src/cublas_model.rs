@@ -73,8 +73,11 @@ impl CublasTc {
             0
         };
         let mut p = KernelProfile::empty("cublas_tc");
-        p.dram = DramTraffic::streaming(read + partial_bytes / 2, shape.output_bytes() + partial_bytes / 2)
-            .with_efficiency(gemm_mem_efficiency(spec, shape.n));
+        p.dram = DramTraffic::streaming(
+            read + partial_bytes / 2,
+            shape.output_bytes() + partial_bytes / 2,
+        )
+        .with_efficiency(gemm_mem_efficiency(spec, shape.n));
         p.tensor_flops = shape.flops();
         p.grid = LaunchGrid::for_gemm(shape.m, shape.n, tile.0, tile.1, split_k).with_residency(2);
         p.mode = ExecutionMode::Pipelined {

@@ -33,8 +33,11 @@ pub enum BaselineCodec {
 
 impl BaselineCodec {
     /// All baselines in the paper's order.
-    pub const ALL: [BaselineCodec; 3] =
-        [BaselineCodec::DietGpu, BaselineCodec::NvComp, BaselineCodec::DFloat11];
+    pub const ALL: [BaselineCodec; 3] = [
+        BaselineCodec::DietGpu,
+        BaselineCodec::NvComp,
+        BaselineCodec::DFloat11,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -85,8 +88,10 @@ impl BaselineCodec {
                 (blob.stats().compressed_bytes, blob.decompress()?)
             }
             BaselineCodec::DFloat11 => {
-                let blob =
-                    ChunkedHuffman::compress(&planes.exponents, ChunkedHuffman::DEFAULT_CHUNK_SYMBOLS)?;
+                let blob = ChunkedHuffman::compress(
+                    &planes.exponents,
+                    ChunkedHuffman::DEFAULT_CHUNK_SYMBOLS,
+                )?;
                 (blob.stats().compressed_bytes, blob.decompress()?)
             }
         };
@@ -106,8 +111,7 @@ impl BaselineCodec {
     /// with warp divergence.
     pub fn decomp_profile(self, m: u64, k: u64, exponent_entropy_bits: f64) -> KernelProfile {
         let raw = 2 * m * k;
-        let compressed =
-            (raw as f64 * self.compression_fraction(exponent_entropy_bits)) as u64;
+        let compressed = (raw as f64 * self.compression_fraction(exponent_entropy_bits)) as u64;
         let elems = m * k;
 
         let mut p = KernelProfile::empty(match self {
@@ -115,8 +119,8 @@ impl BaselineCodec {
             BaselineCodec::NvComp => "nvcomp-decomp",
             BaselineCodec::DFloat11 => "dfloat11-decomp",
         });
-        p.dram = DramTraffic::streaming(compressed, raw)
-            .with_efficiency(self.bandwidth_efficiency());
+        p.dram =
+            DramTraffic::streaming(compressed, raw).with_efficiency(self.bandwidth_efficiency());
         let mut alu = InstrMix::new();
         match self {
             BaselineCodec::DietGpu | BaselineCodec::NvComp => {
@@ -254,10 +258,7 @@ mod tests {
         for codec in BaselineCodec::ALL {
             let t = DecoupledPipeline::new(codec).time(shape, &spec);
             let ratio = t.decomp_us / t.gemm_us;
-            assert!(
-                ratio > 1.3 && ratio < 4.2,
-                "{codec}: decomp/gemm = {ratio}"
-            );
+            assert!(ratio > 1.3 && ratio < 4.2, "{codec}: decomp/gemm = {ratio}");
         }
     }
 
@@ -287,7 +288,11 @@ mod tests {
         let spec = Gpu::L40s.spec();
         let times: Vec<f64> = BaselineCodec::ALL
             .iter()
-            .map(|&c| DecoupledPipeline::new(c).decomp_time(28672, 4096, &spec).total_us)
+            .map(|&c| {
+                DecoupledPipeline::new(c)
+                    .decomp_time(28672, 4096, &spec)
+                    .total_us
+            })
             .collect();
         // DietGPU slowest, DFloat11 fastest.
         assert!(times[2] < times[1] && times[1] < times[0], "{times:?}");
@@ -296,7 +301,10 @@ mod tests {
     #[test]
     fn rans_baselines_have_bank_conflicts() {
         let p = BaselineCodec::DietGpu.decomp_profile(4096, 4096, 2.65);
-        assert!(p.smem.conflict_count() > 1e6, "Figure 12(c): millions of conflicts");
+        assert!(
+            p.smem.conflict_count() > 1e6,
+            "Figure 12(c): millions of conflicts"
+        );
         let z = BaselineCodec::DFloat11.decomp_profile(4096, 4096, 2.65);
         assert!(z.smem.conflict_count() < p.smem.conflict_count());
     }

@@ -9,12 +9,12 @@
 //! ZipGEMM loses to cuBLAS on A100/H800.
 
 use zipserv_bf16::{Bf16, Matrix};
-use zipserv_gpu_sim::device::{Arch, Tier};
 use zipserv_core::decompress::{DecodeCost, DecodePath};
 use zipserv_core::format::layout::TbeMatrix;
 use zipserv_core::format::FRAG_ELEMS;
 use zipserv_core::zipgemm::{ZipGemm, TILE_M, TILE_N};
 use zipserv_gpu_sim::device::DeviceSpec;
+use zipserv_gpu_sim::device::{Arch, Tier};
 use zipserv_gpu_sim::kernel::{ExecutionMode, KernelProfile, KernelTime};
 use zipserv_gpu_sim::memory::{DramTraffic, SharedMemTraffic};
 use zipserv_gpu_sim::occupancy::LaunchGrid;
@@ -175,8 +175,7 @@ impl FusedZipGemm {
         // Per-tile decode caching: one decode per tile per pass, not one per
         // consuming N-block.
         let decodes = DecodeCost::tile_decodes(tiles, n.div_ceil(TILE_N), true);
-        p.smem =
-            SharedMemTraffic::conflict_free(decodes * DecodeCost::for_path(path).lds_per_tile);
+        p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::for_path(path).lds_per_tile);
         p.alu = ZipGemm::decode_mix_for(path, decodes * FRAG_ELEMS as u64);
         p.divergence = 1.0;
         p.tensor_flops = 2.0 * stats.m as f64 * n as f64 * stats.k as f64;
@@ -207,8 +206,7 @@ impl FusedZipGemm {
         p.dram = DramTraffic::streaming(stats.compressed_bytes, stats.raw_bytes())
             .with_efficiency(zipserv_core::decomp_kernel::DECOMP_EFFICIENCY);
         let decodes = DecodeCost::tile_decodes(elems / FRAG_ELEMS as u64, 1, true);
-        p.smem =
-            SharedMemTraffic::conflict_free(decodes * DecodeCost::for_path(path).lds_per_tile);
+        p.smem = SharedMemTraffic::conflict_free(decodes * DecodeCost::for_path(path).lds_per_tile);
         p.alu = ZipGemm::decode_mix_for(path, elems);
         p.grid = LaunchGrid {
             blocks: (elems / 4096).max(1),
@@ -403,12 +401,18 @@ mod tests {
     #[test]
     fn launcher_paths_share_one_micro_kernel_bitwise() {
         // All three functional delegations agree bit for bit.
-        let w = WeightGen::new(0.02).seed(71).outliers(0.03, 20.0).matrix(96, 64);
+        let w = WeightGen::new(0.02)
+            .seed(71)
+            .outliers(0.03, 20.0)
+            .matrix(96, 64);
         let x = WeightGen::new(0.5).seed(72).matrix(64, 19);
         let tbe = TbeCompressor::new().compress(&w).unwrap();
         let launcher = FusedZipGemm::new();
         let blocked = launcher.multiply(&tbe, &x);
-        assert_eq!(blocked.as_slice(), launcher.multiply_reference(&tbe, &x).as_slice());
+        assert_eq!(
+            blocked.as_slice(),
+            launcher.multiply_reference(&tbe, &x).as_slice()
+        );
         assert_eq!(
             blocked.as_slice(),
             launcher.multiply_parallel(&tbe, &x, 3).as_slice()

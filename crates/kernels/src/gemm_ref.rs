@@ -71,13 +71,7 @@ mod tests {
 
     #[test]
     fn identity_multiplication() {
-        let eye = Matrix::from_fn(4, 4, |r, c| {
-            if r == c {
-                Bf16::ONE
-            } else {
-                Bf16::ZERO
-            }
-        });
+        let eye = Matrix::from_fn(4, 4, |r, c| if r == c { Bf16::ONE } else { Bf16::ZERO });
         let x = WeightGen::new(0.1).seed(1).matrix(4, 3);
         let y = gemm(&eye, &x);
         for r in 0..4 {

@@ -159,8 +159,11 @@ impl CompressedW8Kernel {
     pub fn kernel_profile(&self, shape: GemmShape, spec: &DeviceSpec) -> KernelProfile {
         let weight_bytes = ((shape.m * shape.k) as f64 * self.int8_fraction) as u64;
         let mut p = KernelProfile::empty("compressed-w8");
-        p.dram = DramTraffic::streaming(weight_bytes + shape.activation_bytes(), shape.output_bytes())
-            .with_efficiency(gemm_mem_efficiency(spec, shape.n));
+        p.dram = DramTraffic::streaming(
+            weight_bytes + shape.activation_bytes(),
+            shape.output_bytes(),
+        )
+        .with_efficiency(gemm_mem_efficiency(spec, shape.n));
         let mut alu = InstrMix::new();
         // Dequant (2 ops) + fixed-length entropy decode (~6 ops/element).
         alu.add(InstrKind::Iadd, 3 * shape.m * shape.k);

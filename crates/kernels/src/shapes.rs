@@ -368,9 +368,21 @@ mod tests {
     fn weight_footprints_match_section_65() {
         // §6.5: 14.96 GB (8B), 43.92 GB (24B), 131.56 GB (70B) weight bytes.
         let gb = |m: LlmModel| m.dims().weight_bytes_bf16() as f64 / 1e9;
-        assert!((gb(LlmModel::Llama31_8b) - 14.96).abs() < 2.0, "{}", gb(LlmModel::Llama31_8b));
-        assert!((gb(LlmModel::Mistral24b) - 43.92).abs() < 4.5, "{}", gb(LlmModel::Mistral24b));
-        assert!((gb(LlmModel::Llama31_70b) - 131.56).abs() < 12.0, "{}", gb(LlmModel::Llama31_70b));
+        assert!(
+            (gb(LlmModel::Llama31_8b) - 14.96).abs() < 2.0,
+            "{}",
+            gb(LlmModel::Llama31_8b)
+        );
+        assert!(
+            (gb(LlmModel::Mistral24b) - 43.92).abs() < 4.5,
+            "{}",
+            gb(LlmModel::Mistral24b)
+        );
+        assert!(
+            (gb(LlmModel::Llama31_70b) - 131.56).abs() < 12.0,
+            "{}",
+            gb(LlmModel::Llama31_70b)
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! | **Transformers** | dense BF16 | eager dense GEMM (unfused epilogues) | eager | high |
 //! | **DFloat11** | Huffman (≈70%) | eager dense GEMM after per-step block decompression | eager | high |
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use crate::attention::{decode_attention_us, prefill_attention_us};
 use crate::cluster::GpuCluster;
 use crate::fault::{FaultPlan, RetryPolicy};
@@ -18,18 +21,18 @@ use crate::kvcache::{KvShards, PagedKvCache};
 use crate::memory::{MemoryPlan, PlanError, WeightFormat};
 use crate::metrics::{RunReport, StepBreakdown};
 use crate::parallel::{
-    allreduce_us, block_allreduce_bytes, p2p_us, shard_layer, stage_activation_bytes,
+    allreduce_us, block_allreduce_bytes, p2p_us, shard_layer, stage_activation_bytes, PipelineKind,
     PipelineSchedule,
 };
 use crate::policy::{Fcfs, SchedulePolicy};
 use crate::scheduler::{run_policy_faulted, Request, ScheduleReport};
 use crate::workload::Workload;
+use zipserv_gpu_sim::device::Gpu;
+use zipserv_gpu_sim::roofline::GemmShape;
 use zipserv_kernels::cublas_model::CublasTc;
 use zipserv_kernels::decoupled::BaselineCodec;
 use zipserv_kernels::fused::{FusedZipGemm, WeightStats, TYPICAL_COVERAGE};
 use zipserv_kernels::shapes::{LayerKind, LlmModel};
-use zipserv_gpu_sim::device::Gpu;
-use zipserv_gpu_sim::roofline::GemmShape;
 
 /// Compressed-weight fraction ZipServ achieves on the evaluated models.
 pub const ZIPSERV_WEIGHT_FRACTION: f64 = 0.715;
@@ -148,6 +151,8 @@ pub struct EngineBuilder {
     tp: Option<u32>,
     pp: Option<u32>,
     micro_batches: Option<u32>,
+    pipeline_kind: PipelineKind,
+    chunked_prefill: Option<bool>,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
 }
@@ -188,6 +193,8 @@ impl Default for EngineBuilder {
             tp: None,
             pp: None,
             micro_batches: None,
+            pipeline_kind: PipelineKind::GPipe,
+            chunked_prefill: None,
             fault_plan: FaultPlan::default(),
             retry: RetryPolicy::default(),
         }
@@ -239,14 +246,37 @@ impl EngineBuilder {
     }
 
     /// Sets the pipeline micro-batch count per step (default `2 × pp`,
-    /// the usual GPipe fill ratio; ignored when `pp == 1`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `micro_batches == 0`.
+    /// the usual GPipe fill ratio; ignored when `pp == 1`). Zero is
+    /// rejected at [`EngineBuilder::try_build`] with a typed
+    /// [`EngineError::InvalidParallelism`] (or the corresponding panic at
+    /// [`EngineBuilder::build`]) rather than panicking here, so runtime
+    /// deployment probes can round-trip bad configurations.
     pub fn micro_batches(mut self, micro_batches: u32) -> Self {
-        assert!(micro_batches > 0, "micro-batch count must be nonzero");
         self.micro_batches = Some(micro_batches);
+        self
+    }
+
+    /// Sets the pipeline execution schedule (default
+    /// [`PipelineKind::GPipe`], the historical fill/drain model; ignored
+    /// when `pp == 1`). [`PipelineKind::OneFOneB`] interleaves consecutive
+    /// steps 1F1B-style, cutting the steady-state decode bubble from
+    /// `pp − 1` idle slots per step to `(pp − 1) / m`.
+    pub fn pipeline_kind(mut self, kind: PipelineKind) -> Self {
+        self.pipeline_kind = kind;
+        self
+    }
+
+    /// Overrides chunked-prefill streaming admission (default: enabled
+    /// exactly when the resolved deployment has `pp ≥ 2`).
+    ///
+    /// When enabled, the schedulers admit prefills as `pp` per-stage
+    /// chunks advanced between decode steps (new arrivals reach their
+    /// first token without waiting behind whole serialized prefills) and
+    /// consult the per-rank [`KvShards`] live inside the scheduling loop.
+    /// Disabling it pins the legacy whole-prefill chain-admission
+    /// semantics — the bit-compat path the fixture suites diff against.
+    pub fn chunked_prefill(mut self, enabled: bool) -> Self {
+        self.chunked_prefill = Some(enabled);
         self
     }
 
@@ -312,6 +342,9 @@ impl EngineBuilder {
         if self.pp == Some(0) {
             return Err(EngineError::InvalidParallelism("pp"));
         }
+        if self.micro_batches == Some(0) {
+            return Err(EngineError::InvalidParallelism("micro_batches"));
+        }
         let mut cluster = self.cluster;
         if let Some(tp) = self.tp {
             cluster = cluster.with_tp(tp);
@@ -320,6 +353,7 @@ impl EngineBuilder {
             cluster = cluster.with_pp(pp);
         }
         let micro_batches = self.micro_batches.unwrap_or(2 * cluster.pp()).max(1);
+        let chunked_prefill = self.chunked_prefill.unwrap_or(cluster.pp() >= 2);
         let plan = MemoryPlan::try_plan(self.model, &cluster, self.kind.weight_format())
             .map_err(EngineError::DoesNotFit)?;
         let mut engine = ServingEngine {
@@ -330,14 +364,22 @@ impl EngineBuilder {
             policy: self.policy,
             max_batch: self.max_batch,
             micro_batches,
+            pipeline_kind: self.pipeline_kind,
+            chunked_prefill,
             fault_plan: self.fault_plan,
             retry: self.retry,
             kv_capacity: 0,
+            // Placeholder, replaced right below once the engine's model and
+            // cluster can size the real allocators.
+            kv_shards_proto: Arc::new(KvShards::new(vec![PagedKvCache::new(0, 1)])),
+            step_memo: Arc::new(Mutex::new(HashMap::new())),
         };
-        // Capacity is a pure function of the deployment, but deriving it
-        // means constructing every per-rank page allocator — O(pages) work
-        // that once ran on each `kv_capacity_tokens` call, dominating
-        // multi-rank scheduler runs. Compute it once here.
+        // Capacity and the pristine allocators are pure functions of the
+        // deployment, but deriving them means constructing every per-rank
+        // page allocator — O(pages) work that once ran on each
+        // `kv_capacity_tokens` call, dominating multi-rank scheduler runs.
+        // Compute both once here.
+        engine.kv_shards_proto = Arc::new(engine.build_kv_shards());
         engine.kv_capacity = engine.compute_kv_capacity_tokens();
         Ok(engine)
     }
@@ -353,12 +395,31 @@ pub struct ServingEngine {
     policy: Box<dyn SchedulePolicy>,
     max_batch: usize,
     micro_batches: u32,
+    pipeline_kind: PipelineKind,
+    /// Resolved streaming-admission mode (default `pp >= 2`): chunked
+    /// prefill plus live per-rank KV admission in the schedulers.
+    chunked_prefill: bool,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
     /// KV capacity in tokens, derived once at build time (see
     /// [`ServingEngine::kv_capacity_tokens`]).
     kv_capacity: u64,
+    /// Pristine per-rank KV allocators, built once; [`ServingEngine::kv_shards`]
+    /// clones them instead of re-running the O(pages)-per-rank construction.
+    kv_shards_proto: Arc<KvShards>,
+    /// Cross-run decode-step price memo, keyed like the schedulers' local
+    /// step caches (`(step_cache_key, context bucket)` → `(total ms, comm
+    /// ms)`). Step costs are pure functions of the frozen deployment, so
+    /// pricing a shape once per engine — not once per scheduler run — is
+    /// sound; clones share the memo. Chunked prefill made this matter: the
+    /// decode-ready batch ramps through many micro-batch shapes per run,
+    /// and re-pricing the ramp every run dominated multi-rank simulations.
+    step_memo: StepMemo,
 }
+
+/// `(step_cache_key, context bucket)` → `(total ms, comm ms)`, shared
+/// across engine clones.
+type StepMemo = Arc<Mutex<HashMap<(u64, u64), (f64, f64)>>>;
 
 impl Clone for ServingEngine {
     fn clone(&self) -> Self {
@@ -370,9 +431,13 @@ impl Clone for ServingEngine {
             policy: self.policy.clone_box(),
             max_batch: self.max_batch,
             micro_batches: self.micro_batches,
+            pipeline_kind: self.pipeline_kind,
+            chunked_prefill: self.chunked_prefill,
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
             kv_capacity: self.kv_capacity,
+            kv_shards_proto: Arc::clone(&self.kv_shards_proto),
+            step_memo: Arc::clone(&self.step_memo),
         }
     }
 }
@@ -421,6 +486,21 @@ impl ServingEngine {
     /// Pipeline micro-batches per step (1-effective when `pp == 1`).
     pub fn micro_batches(&self) -> u32 {
         self.micro_batches
+    }
+
+    /// The pipeline execution schedule this deployment runs
+    /// (default [`PipelineKind::GPipe`]; irrelevant when `pp == 1`).
+    pub fn pipeline_kind(&self) -> PipelineKind {
+        self.pipeline_kind
+    }
+
+    /// Whether the schedulers run in streaming-admission mode: prefills
+    /// admitted as per-stage chunks advanced between decode steps, with
+    /// live per-rank [`KvShards`] admission. Resolved at build time
+    /// (default `pp >= 2`, overridable via
+    /// [`EngineBuilder::chunked_prefill`]).
+    pub fn chunked_prefill(&self) -> bool {
+        self.chunked_prefill
     }
 
     /// The scheduling policy [`ServingEngine::serve_online`] runs under.
@@ -537,7 +617,9 @@ impl ServingEngine {
         us += match self.kind {
             EngineKind::ZipServ => {
                 let stats = WeightStats::synthetic(lm.m, lm.k, TYPICAL_COVERAGE);
-                FusedZipGemm::time(&stats, batch, &spec).total_us.min(lm_dense)
+                FusedZipGemm::time(&stats, batch, &spec)
+                    .total_us
+                    .min(lm_dense)
             }
             _ => lm_dense * self.kind.linear_inefficiency(),
         };
@@ -571,12 +653,15 @@ impl ServingEngine {
     /// Single-stage (`pp == 1`) deployments are costed exactly as they
     /// always were: TP-sharded kernels plus two all-reduces per layer.
     /// Pipeline-parallel deployments split the batch into
-    /// [`EngineBuilder::micro_batches`] micro-batches and run them
-    /// GPipe-style across the stages: the step's makespan is
-    /// `(pp + m − 1)` slots of the bottleneck stage's per-micro time plus
-    /// one inter-stage activation hop per slot — which charges both the
-    /// fill/drain bubble and the weight re-reads that make PP a capacity
-    /// play, not a latency one, in decode.
+    /// [`EngineBuilder::micro_batches`] micro-batches and run them across
+    /// the stages under the deployment's [`PipelineKind`]: the step's
+    /// makespan is `slots_f()` effective slots — `pp + m − 1` under GPipe
+    /// fill/drain, `m + (pp − 1)/m` under the interleaved 1F1B steady
+    /// state — of the bottleneck stage's per-micro time plus one
+    /// inter-stage activation hop per slot. This charges both the
+    /// schedule's bubble (reported diagnostically as
+    /// [`StepBreakdown::bubble_ms`]) and the weight re-reads that make PP
+    /// a capacity play, not a latency one, in decode.
     pub fn decode_step(&self, batch: u64, context: u64) -> StepBreakdown {
         if self.cluster.pp() == 1 {
             return self.decode_step_single(batch, context);
@@ -588,15 +673,21 @@ impl ServingEngine {
         // Components are layer-proportional to first order: the bottleneck
         // stage holds `ceil(layers / pp)` of them and paces every slot.
         let frac = self.cluster.bottleneck_stage_layers(dims.layers) as f64 / dims.layers as f64;
-        let scale = frac * sched.slots() as f64;
+        let scale = frac * sched.slots_f();
         let hop_ms = p2p_us(&self.cluster, stage_activation_bytes(dims.hidden, bm)) / 1e3;
+        // Per-slot busy time on the bottleneck stage: the idle (bubble)
+        // share of the makespan is `steady_idle_slots` of these slots.
+        let slot_ms = frac
+            * (micro.linear_ms + micro.attention_ms + micro.decompression_ms + micro.allreduce_ms)
+            + hop_ms;
         StepBreakdown {
             linear_ms: micro.linear_ms * scale,
             attention_ms: micro.attention_ms * scale,
             decompression_ms: micro.decompression_ms * scale,
             allreduce_ms: micro.allreduce_ms * scale,
-            p2p_ms: sched.slots() as f64 * hop_ms,
+            p2p_ms: sched.slots_f() * hop_ms,
             other_ms: self.kind.other_ms(dims.layers),
+            bubble_ms: sched.steady_idle_slots() * slot_ms,
         }
     }
 
@@ -619,8 +710,32 @@ impl ServingEngine {
         let sched = self.pipeline_schedule(batch);
         let m = u64::from(sched.micro_batches);
         let bm = batch.div_ceil(m);
-        debug_assert!(bm < (1 << 32), "per-micro batch overflows the packed key");
-        (bm << 32) | m
+        debug_assert!(bm < (1 << 31), "per-micro batch overflows the packed key");
+        // The schedule kind changes the step cost at the same micro-batch
+        // shape, so 1F1B keys must not collide with GPipe ones: tag them in
+        // the (otherwise unreachable) top bit. GPipe keys are unchanged.
+        let tag = match sched.kind {
+            PipelineKind::GPipe => 0,
+            PipelineKind::OneFOneB => 1u64 << 63,
+        };
+        tag | (bm << 32) | m
+    }
+
+    /// Prices a decode step under the cross-run memo: `key` must be
+    /// `(self.step_cache_key(batch), bucket)` and the returned pair is
+    /// `(total ms, comm ms)` for `decode_step(batch, bucket)`. The first
+    /// caller anywhere on this engine (or any clone) pays the pricing;
+    /// everyone after reads the memo. A poisoned lock falls back to
+    /// pricing directly — never panic over a cache.
+    pub fn step_cost_priced(&self, key: (u64, u64), batch: u64, bucket: u64) -> (f64, f64) {
+        let price = || {
+            let step = self.decode_step(batch, bucket);
+            (step.total_ms(), step.comm_ms())
+        };
+        match self.step_memo.lock() {
+            Ok(mut memo) => *memo.entry(key).or_insert_with(price),
+            Err(_) => price(),
+        }
     }
 
     /// The single-stage (TP-only) decode-step model — the historical cost
@@ -636,10 +751,10 @@ impl ServingEngine {
             &spec,
             self.kind.attention_efficiency(),
         ) / tp as f64;
-        let allreduce =
-            2.0 * dims.layers as f64
-                * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, batch) / 2)
-                / 1e3;
+        let allreduce = 2.0
+            * dims.layers as f64
+            * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, batch) / 2)
+            / 1e3;
         StepBreakdown {
             linear_ms: self.decode_linear_ms(batch),
             attention_ms: attention_us / 1e3,
@@ -647,14 +762,16 @@ impl ServingEngine {
             allreduce_ms: allreduce,
             p2p_ms: 0.0,
             other_ms: self.kind.other_ms(dims.layers),
+            bubble_ms: 0.0,
         }
     }
 
-    /// The GPipe schedule for this deployment at a given batch: micro-batch
-    /// count clamped so no micro-batch is empty.
+    /// The pipeline schedule for this deployment at a given batch:
+    /// micro-batch count clamped so no micro-batch is empty, under the
+    /// deployment's [`PipelineKind`].
     fn pipeline_schedule(&self, batch: u64) -> PipelineSchedule {
         let m = u64::from(self.micro_batches).min(batch.max(1)) as u32;
-        PipelineSchedule::new(self.cluster.pp(), m)
+        PipelineSchedule::new(self.cluster.pp(), m).with_kind(self.pipeline_kind)
     }
 
     /// Prefill latency in ms for the whole batch.
@@ -698,10 +815,14 @@ impl ServingEngine {
             us += t * dims.layers as f64;
             decomp_us += d * dims.layers as f64;
         }
-        us += prefill_attention_us(&dims, batch, prompt_len, &spec, 0.55) / self.cluster.tp() as f64;
+        us +=
+            prefill_attention_us(&dims, batch, prompt_len, &spec, 0.55) / self.cluster.tp() as f64;
         let allreduce = 2.0
             * dims.layers as f64
-            * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, tokens) / 2);
+            * allreduce_us(
+                &self.cluster,
+                block_allreduce_bytes(dims.hidden, tokens) / 2,
+            );
         if self.cluster.pp() == 1 {
             return (us + allreduce) / 1e3 + self.kind.other_ms(dims.layers);
         }
@@ -725,8 +846,10 @@ impl ServingEngine {
         let m = sched.micro_batches as u64;
         let frac = self.cluster.bottleneck_stage_layers(dims.layers) as f64 / dims.layers as f64;
         let stage_micro_ms = (scalable_ms / m as f64 + fixed_ms) * frac;
-        let hop_ms =
-            p2p_us(&self.cluster, stage_activation_bytes(dims.hidden, tokens.div_ceil(m))) / 1e3;
+        let hop_ms = p2p_us(
+            &self.cluster,
+            stage_activation_bytes(dims.hidden, tokens.div_ceil(m)),
+        ) / 1e3;
         sched.makespan(stage_micro_ms, hop_ms)
     }
 
@@ -775,7 +898,10 @@ impl ServingEngine {
             prefill_attention_us(&dims, batch, prompt_len, &spec, 0.55) / self.cluster.tp() as f64;
         let allreduce = 2.0
             * dims.layers as f64
-            * allreduce_us(&self.cluster, block_allreduce_bytes(dims.hidden, tokens) / 2);
+            * allreduce_us(
+                &self.cluster,
+                block_allreduce_bytes(dims.hidden, tokens) / 2,
+            );
         // The stream-overlapped makespan already hides decompression under
         // the GEMM stream, so the whole core scales with micro-batch size
         // (an approximation: at extreme micro-batch counts the DRAM-bound
@@ -790,7 +916,19 @@ impl ServingEngine {
     /// stage's layer slice across stages. The rank with the fattest slice
     /// runs out of pages first and throttles the whole deployment — see
     /// [`KvShards`].
+    ///
+    /// Returns a clone of the pristine allocators built once at engine
+    /// construction: callers get independent state, and the per-call cost
+    /// is a memcpy of the free lists rather than the O(pages)-per-rank
+    /// rebuild (which dominated streaming-admission scheduler runs when it
+    /// ran per run).
     pub fn kv_shards(&self) -> KvShards {
+        (*self.kv_shards_proto).clone()
+    }
+
+    /// Builds the pristine per-rank allocators (the expensive half of
+    /// [`ServingEngine::kv_shards`], run once at build time).
+    fn build_kv_shards(&self) -> KvShards {
         let dims = self.model.dims();
         let tp = self.cluster.tp() as u64;
         let stage_plans =
@@ -916,8 +1054,18 @@ mod tests {
             .map(|&k| llama8b(k).serve(w).throughput_tps)
             .collect();
         assert!(tput[0] > tput[1], "ZipServ {} vs vLLM {}", tput[0], tput[1]);
-        assert!(tput[1] > tput[2], "vLLM {} vs Transformers {}", tput[1], tput[2]);
-        assert!(tput[2] > tput[3], "Transformers {} vs DFloat11 {}", tput[2], tput[3]);
+        assert!(
+            tput[1] > tput[2],
+            "vLLM {} vs Transformers {}",
+            tput[1],
+            tput[2]
+        );
+        assert!(
+            tput[2] > tput[3],
+            "Transformers {} vs DFloat11 {}",
+            tput[2],
+            tput[3]
+        );
     }
 
     #[test]
@@ -934,9 +1082,21 @@ mod tests {
             vs_df.push(zip / llama8b(EngineKind::DFloat11).serve(w).throughput_tps);
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(avg(&vs_vllm) > 1.1 && avg(&vs_vllm) < 1.6, "vs vLLM {}", avg(&vs_vllm));
-        assert!(avg(&vs_tf) > 2.0 && avg(&vs_tf) < 5.0, "vs TF {}", avg(&vs_tf));
-        assert!(avg(&vs_df) > 4.0 && avg(&vs_df) < 12.0, "vs DF11 {}", avg(&vs_df));
+        assert!(
+            avg(&vs_vllm) > 1.1 && avg(&vs_vllm) < 1.6,
+            "vs vLLM {}",
+            avg(&vs_vllm)
+        );
+        assert!(
+            avg(&vs_tf) > 2.0 && avg(&vs_tf) < 5.0,
+            "vs TF {}",
+            avg(&vs_tf)
+        );
+        assert!(
+            avg(&vs_df) > 4.0 && avg(&vs_df) < 12.0,
+            "vs DF11 {}",
+            avg(&vs_df)
+        );
     }
 
     #[test]
@@ -979,7 +1139,10 @@ mod tests {
         let w = Workload::new(8, 512, 256);
         let r24 = m24.serve(w);
         let r70 = l70.serve(w);
-        assert!(r24.throughput_tps > r70.throughput_tps, "bigger model is slower");
+        assert!(
+            r24.throughput_tps > r70.throughput_tps,
+            "bigger model is slower"
+        );
         assert!(r70.latency_s > 0.0 && r70.throughput_tps > 10.0);
     }
 
@@ -1046,13 +1209,19 @@ mod tests {
         let report = engine.serve_online(poisson_arrivals(6.0, 24, 256, 32, 5));
         assert_eq!(report.completions.len(), 24);
         assert_eq!(report.policy, "slo-edf");
-        assert!(report.peak_batch <= 8, "cap respected: {}", report.peak_batch);
+        assert!(
+            report.peak_batch <= 8,
+            "cap respected: {}",
+            report.peak_batch
+        );
     }
 
     #[test]
     fn cloned_engine_keeps_its_policy() {
         use crate::policy::PreemptiveSjf;
-        let engine = ServingEngine::builder().policy(PreemptiveSjf::default()).build();
+        let engine = ServingEngine::builder()
+            .policy(PreemptiveSjf::default())
+            .build();
         let clone = engine.clone();
         assert_eq!(clone.policy().name(), engine.policy().name());
         assert_eq!(clone.kv_capacity_tokens(), engine.kv_capacity_tokens());
@@ -1071,7 +1240,10 @@ mod tests {
             .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 4, 2))
             .build();
         assert_eq!(via_axes.cluster(), via_cluster.cluster());
-        assert_eq!(via_axes.kv_capacity_tokens(), via_cluster.kv_capacity_tokens());
+        assert_eq!(
+            via_axes.kv_capacity_tokens(),
+            via_cluster.kv_capacity_tokens()
+        );
         assert_eq!(
             via_axes.decode_step(32, 1024),
             via_cluster.decode_step(32, 1024)

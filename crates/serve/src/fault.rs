@@ -115,14 +115,26 @@ impl FaultPlan {
     /// an invalid parameter (non-finite or negative duration/stall, a
     /// degradation factor below 1.0, zero corrupted frames).
     pub fn push(&mut self, at_s: f64, kind: FaultKind) {
-        assert!(at_s.is_finite() && at_s >= 0.0, "fault time must be finite and non-negative");
+        assert!(
+            at_s.is_finite() && at_s >= 0.0,
+            "fault time must be finite and non-negative"
+        );
         match kind {
             FaultKind::LinkDegrade { factor, duration_s } => {
-                assert!(factor.is_finite() && factor >= 1.0, "link factor must be >= 1");
-                assert!(duration_s.is_finite() && duration_s > 0.0, "degrade window must be positive");
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "link factor must be >= 1"
+                );
+                assert!(
+                    duration_s.is_finite() && duration_s > 0.0,
+                    "degrade window must be positive"
+                );
             }
             FaultKind::KvStall { stall_s } => {
-                assert!(stall_s.is_finite() && stall_s >= 0.0, "stall must be finite and non-negative");
+                assert!(
+                    stall_s.is_finite() && stall_s >= 0.0,
+                    "stall must be finite and non-negative"
+                );
             }
             FaultKind::CorruptFrame { frames } => {
                 assert!(frames > 0, "a corruption event needs at least one frame");
@@ -187,7 +199,9 @@ impl FaultPlan {
         let rank = (u.next() * ranks as f64) as usize % ranks;
         let fail_at = (0.2 + 0.4 * u.next()) * horizon_s;
         let repair_at = fail_at + (0.1 + 0.2 * u.next()) * horizon_s;
-        let mut plan = FaultPlan::new().rank_fail(fail_at, rank).rank_repair(repair_at, rank);
+        let mut plan = FaultPlan::new()
+            .rank_fail(fail_at, rank)
+            .rank_repair(repair_at, rank);
         if u.next() < 0.5 {
             let at = (0.1 + 0.5 * u.next()) * horizon_s;
             plan = plan.link_degrade(at, 1.5 + 2.0 * u.next(), 0.1 * horizon_s);
@@ -354,7 +368,10 @@ mod tests {
         assert_eq!(times, vec![1.0, 1.0, 3.0, 5.0]);
         // Ties keep insertion order: the fail precedes the corruption.
         assert!(matches!(plan.events()[0].kind, FaultKind::RankFail { .. }));
-        assert!(matches!(plan.events()[1].kind, FaultKind::CorruptFrame { .. }));
+        assert!(matches!(
+            plan.events()[1].kind,
+            FaultKind::CorruptFrame { .. }
+        ));
         assert_eq!(plan.len(), 4);
         assert!(!plan.is_empty());
         assert!(FaultPlan::new().is_empty());
@@ -373,7 +390,9 @@ mod tests {
             .filter(|e| matches!(e.kind, FaultKind::RankFail { .. }))
             .collect();
         assert_eq!(fails.len(), 1);
-        let FaultKind::RankFail { rank } = fails[0].kind else { unreachable!() };
+        let FaultKind::RankFail { rank } = fails[0].kind else {
+            unreachable!()
+        };
         assert!(rank < 4);
         let repair = a
             .events()
@@ -393,7 +412,11 @@ mod tests {
         assert!((r.delay_s(1) - 0.05).abs() < 1e-12);
         assert!((r.delay_s(2) - 0.10).abs() < 1e-12);
         assert!((r.delay_s(3) - 0.20).abs() < 1e-12);
-        let flat = RetryPolicy { max_retries: 2, base_backoff_s: 1.0, multiplier: 1.0 };
+        let flat = RetryPolicy {
+            max_retries: 2,
+            base_backoff_s: 1.0,
+            multiplier: 1.0,
+        };
         assert_eq!(flat.delay_s(1), flat.delay_s(2));
     }
 

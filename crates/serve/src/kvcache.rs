@@ -38,8 +38,18 @@ impl std::error::Error for KvError {}
 #[derive(Debug, Clone)]
 pub struct PagedKvCache {
     total_pages: u64,
+    /// Recycled pages, popped LIFO. Pages at or above `next_fresh` have
+    /// never been touched and are not materialized here — a pristine
+    /// allocator over millions of tokens is O(1) to build and clone, which
+    /// is what lets the streaming schedulers take a fresh [`KvShards`] per
+    /// run. Allocation order is identical to an eager free list: recycled
+    /// pages first (LIFO), then fresh ids counting up from zero.
     free_list: Vec<u64>,
-    /// Per-page reference counts (copy-on-write forks share pages).
+    /// Low-water mark of never-allocated pages: every id `< next_fresh`
+    /// has been handed out at least once.
+    next_fresh: u64,
+    /// Per-page reference counts (copy-on-write forks share pages),
+    /// materialized lazily alongside `next_fresh`.
     ref_counts: Vec<u32>,
     /// Sequence id → (block table, tokens stored).
     tables: HashMap<u64, SeqState>,
@@ -59,8 +69,9 @@ impl PagedKvCache {
         let total_pages = total_tokens / PAGE_TOKENS;
         PagedKvCache {
             total_pages,
-            free_list: (0..total_pages).rev().collect(),
-            ref_counts: vec![0; total_pages as usize],
+            free_list: Vec::new(),
+            next_fresh: 0,
+            ref_counts: Vec::new(),
             tables: HashMap::new(),
         }
     }
@@ -70,9 +81,9 @@ impl PagedKvCache {
         self.total_pages
     }
 
-    /// Currently free pages.
+    /// Currently free pages (recycled plus never-touched).
     pub fn free_pages(&self) -> u64 {
-        self.free_list.len() as u64
+        self.free_list.len() as u64 + (self.total_pages - self.next_fresh)
     }
 
     /// Total token capacity.
@@ -98,12 +109,17 @@ impl PagedKvCache {
     /// allocated in that case).
     pub fn append(&mut self, seq: u64, tokens: u64) -> Result<(), KvError> {
         let need_pages = self.pages_needed(seq, tokens)?;
-        if need_pages > self.free_list.len() as u64 {
+        if need_pages > self.free_pages() {
             return Err(KvError::OutOfPages);
         }
         let mut new_pages = Vec::with_capacity(need_pages as usize);
         for _ in 0..need_pages {
-            let page = self.free_list.pop().expect("checked above");
+            let page = self.free_list.pop().unwrap_or_else(|| {
+                let p = self.next_fresh;
+                self.next_fresh += 1;
+                self.ref_counts.push(0);
+                p
+            });
             self.ref_counts[page as usize] = 1;
             new_pages.push(page);
         }
@@ -187,8 +203,9 @@ impl PagedKvCache {
     /// state of a rank whose device memory was lost (power-cycle, ECC
     /// fault). Capacity is unchanged; contents are gone.
     pub fn reset(&mut self) {
-        self.free_list = (0..self.total_pages).rev().collect();
-        self.ref_counts.iter_mut().for_each(|rc| *rc = 0);
+        self.free_list.clear();
+        self.next_fresh = 0;
+        self.ref_counts.clear();
         self.tables.clear();
     }
 }
@@ -332,7 +349,8 @@ impl KvShards {
         }
         for (s, &dead) in self.shards.iter_mut().zip(&self.invalidated) {
             if !dead {
-                s.append(seq, tokens).expect("checked every alive rank above");
+                s.append(seq, tokens)
+                    .expect("checked every alive rank above");
             }
         }
         Ok(())
@@ -365,7 +383,8 @@ impl KvShards {
         }
         for (s, &dead) in self.shards.iter_mut().zip(&self.invalidated) {
             if !dead {
-                s.fork(parent, child).expect("checked every alive rank above");
+                s.fork(parent, child)
+                    .expect("checked every alive rank above");
             }
         }
         Ok(())
@@ -544,7 +563,11 @@ mod tests {
         c.register(1);
         c.append(1, 20).unwrap(); // 2 pages
         assert_eq!(c.fork(99, 100), Err(KvError::UnknownSequence));
-        assert_eq!(c.tokens(100), None, "failed fork must not register the child");
+        assert_eq!(
+            c.tokens(100),
+            None,
+            "failed fork must not register the child"
+        );
         assert_eq!(c.free_pages(), 2);
         // Forking onto a live id is refused — overwriting it would leak
         // its pages (they would keep a positive refcount forever).
@@ -556,7 +579,11 @@ mod tests {
         // A forked child hitting OutOfPages on append is atomic too.
         c.fork(1, 2).unwrap();
         c.append(2, PAGE_TOKENS * 10).unwrap_err();
-        assert_eq!(c.tokens(2), Some(20), "failed append must not change tokens");
+        assert_eq!(
+            c.tokens(2),
+            Some(20),
+            "failed append must not change tokens"
+        );
         assert_eq!(c.free_pages(), 2);
         // Double release of the same id is UnknownSequence, not a panic.
         c.release(2).unwrap();

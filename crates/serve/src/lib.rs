@@ -48,7 +48,7 @@ pub use engine::{EngineBuilder, EngineKind, ServingEngine};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RejectReason, Rejection, RetryPolicy};
 pub use kvcache::{KvError, KvShards, PagedKvCache};
 pub use metrics::RobustnessStats;
-pub use parallel::PipelineSchedule;
+pub use parallel::{PipelineKind, PipelineSchedule};
 pub use policy::{
     Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,
 };

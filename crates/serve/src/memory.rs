@@ -211,7 +211,11 @@ mod tests {
                 _ => GpuCluster::tensor_parallel(Gpu::L40s, 2),
             };
             let dense = MemoryPlan::plan(model, &cluster, WeightFormat::Dense);
-            let zip = MemoryPlan::plan(model, &cluster, WeightFormat::Compressed { fraction: 0.715 });
+            let zip = MemoryPlan::plan(
+                model,
+                &cluster,
+                WeightFormat::Compressed { fraction: 0.715 },
+            );
             assert!(zip.weight_bytes < dense.weight_bytes);
             assert!(zip.kv_bytes > dense.kv_bytes);
         }
@@ -248,7 +252,10 @@ mod tests {
         // raw weights / tp, compressed fraction plus one scratch layer.
         for tp in [1u32, 2] {
             let cluster = GpuCluster::tensor_parallel(Gpu::L40s, tp);
-            for format in [WeightFormat::Dense, WeightFormat::Compressed { fraction: 0.715 }] {
+            for format in [
+                WeightFormat::Dense,
+                WeightFormat::Compressed { fraction: 0.715 },
+            ] {
                 let plan = MemoryPlan::plan(LlmModel::Mistral24b, &cluster, format);
                 let raw = LlmModel::Mistral24b.dims().weight_bytes_bf16() / tp as u64;
                 match format {
@@ -273,7 +280,10 @@ mod tests {
         assert_eq!(stages.len(), 2);
         let tp_plan = MemoryPlan::plan(LlmModel::Llama31_70b, &tp4, WeightFormat::Dense);
         for s in &stages {
-            assert!(s.weight_bytes < tp_plan.weight_bytes, "stage slice is smaller");
+            assert!(
+                s.weight_bytes < tp_plan.weight_bytes,
+                "stage slice is smaller"
+            );
             assert!(s.kv_bytes > tp_plan.kv_bytes, "freed weights become KV");
         }
         // The bottleneck plan is the min-KV stage.

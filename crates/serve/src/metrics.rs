@@ -38,9 +38,7 @@ pub fn percentile(values: impl IntoIterator<Item = f64>, q: f64) -> Option<f64> 
 /// none carried one — the single definition behind both the aggregate
 /// [`ScheduleReport::slo_attainment`](crate::scheduler::ScheduleReport::slo_attainment)
 /// and the per-class [`ClassStats`] figure.
-pub fn slo_attainment<'a>(
-    completions: impl IntoIterator<Item = &'a Completion>,
-) -> Option<f64> {
+pub fn slo_attainment<'a>(completions: impl IntoIterator<Item = &'a Completion>) -> Option<f64> {
     let judged: Vec<bool> = completions.into_iter().filter_map(|c| c.slo_met).collect();
     if judged.is_empty() {
         return None;
@@ -112,6 +110,12 @@ pub struct StepBreakdown {
     pub p2p_ms: f64,
     /// Everything else (sampling, scheduling, kernel glue).
     pub other_ms: f64,
+    /// Diagnostic: pipeline idle time already folded into the scaled
+    /// compute/communication components above — the fill/drain (GPipe) or
+    /// amortized-interleave (1F1B) bubble. **Not** added by
+    /// [`StepBreakdown::total_ms`]; it reports how much of the step is
+    /// schedule overhead rather than work.
+    pub bubble_ms: f64,
 }
 
 impl StepBreakdown {
@@ -217,6 +221,7 @@ mod tests {
             allreduce_ms: 0.0,
             p2p_ms: 0.0,
             other_ms: 1.88,
+            bubble_ms: 0.0,
         };
         assert!((b.total_ms() - 29.89).abs() < 1e-9);
         // The paper's 83.6% GEMM share.
@@ -232,6 +237,8 @@ mod tests {
             allreduce_ms: 1.5,
             p2p_ms: 0.5,
             other_ms: 1.0,
+            // Diagnostic only: must not inflate total_ms().
+            bubble_ms: 4.0,
         };
         assert!((b.comm_ms() - 2.0).abs() < 1e-12);
         assert!((b.total_ms() - 15.0).abs() < 1e-12);
@@ -248,7 +255,13 @@ mod tests {
     #[test]
     fn robustness_defaults_are_zero_and_ttr_guards_empty() {
         let z = RobustnessStats::default();
-        assert_eq!(z, RobustnessStats { faults_injected: 0, ..z });
+        assert_eq!(
+            z,
+            RobustnessStats {
+                faults_injected: 0,
+                ..z
+            }
+        );
         assert_eq!(z.mean_time_to_recover_s(), None);
         let r = RobustnessStats {
             recoveries: 2,

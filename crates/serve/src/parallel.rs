@@ -2,10 +2,11 @@
 //!
 //! Megatron-style tensor sharding: column-parallel QKV/GateUp (shard `M`),
 //! row-parallel O/Down (shard `K`), followed by one all-reduce of the
-//! activation after attention and one after the FFN. GPipe-style pipeline
+//! activation after attention and one after the FFN. Pipeline
 //! parallelism: layers are split into stages, batches into micro-batches,
-//! and [`PipelineSchedule`] accounts the fill/drain bubble plus the
-//! per-hop activation transfers between stages.
+//! and [`PipelineSchedule`] accounts the schedule-dependent bubble
+//! ([`PipelineKind`]: GPipe fill/drain vs. interleaved 1F1B steady state)
+//! plus the per-hop activation transfers between stages.
 
 use crate::cluster::GpuCluster;
 use zipserv_gpu_sim::roofline::GemmShape;
@@ -87,52 +88,157 @@ pub fn p2p_us_degraded(cluster: &GpuCluster, bytes: u64, link_factor: f64) -> f6
     p2p_us(cluster, bytes) * link_factor.max(1.0)
 }
 
-/// A GPipe-style fill/drain pipeline schedule: `stages` pipeline stages
-/// processing `micro_batches` micro-batches.
+/// Which pipeline execution schedule a deployment runs.
+///
+/// The schedule decides how much idle time (*bubble*) each step pays on
+/// top of the `micro_batches` busy slots of real work:
+///
+/// * [`PipelineKind::GPipe`] — fill/drain: every step starts from an empty
+///   pipeline and drains it completely, so each stage idles
+///   `stages − 1` whole slots per step.
+/// * [`PipelineKind::OneFOneB`] — interleaved 1F1B-style steady state:
+///   consecutive steps overlap (stage `s` starts step `k+1`'s first
+///   micro-batch while later stages finish step `k`), so the fill/drain
+///   cost is amortized over the `micro_batches` in-flight positions and
+///   each step pays only `(stages − 1) / micro_batches` idle slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelineKind {
+    /// GPipe fill/drain: the historical (PR 5) model, bubble
+    /// `(stages − 1) / (stages + micro_batches − 1)` of the makespan.
+    #[default]
+    GPipe,
+    /// Interleaved one-forward-one-backward steady state: bubble shrinks
+    /// to `(stages − 1) / micro_batches` idle slots per step.
+    OneFOneB,
+}
+
+impl PipelineKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineKind::GPipe => "gpipe",
+            PipelineKind::OneFOneB => "1f1b",
+        }
+    }
+}
+
+impl core::fmt::Display for PipelineKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A pipeline schedule: `stages` pipeline stages processing
+/// `micro_batches` micro-batches under a [`PipelineKind`].
 ///
 /// With per-micro-batch stage time `t` and per-hop transfer `h`, the
-/// makespan is `(stages + micro_batches − 1) · (t + h)`: the first
-/// micro-batch fills the pipeline over `stages` slots and the remaining
-/// `micro_batches − 1` drain one slot apart. The idle fraction — the
-/// pipeline *bubble* — is `(stages − 1) / (stages + micro_batches − 1)`.
+/// makespan is `slots_f() · (t + h)` where `slots_f()` counts the
+/// `micro_batches` busy slots plus the schedule's idle slots
+/// ([`PipelineSchedule::steady_idle_slots`]): `stages − 1` under GPipe
+/// (fill + drain every step) and `(stages − 1) / micro_batches` under
+/// 1F1B (fill/drain amortized across overlapping steps). The idle
+/// fraction — the pipeline *bubble* — is `steady_idle_slots / slots_f`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineSchedule {
     /// Pipeline stages (`pp`).
     pub stages: u32,
     /// Micro-batches per step.
     pub micro_batches: u32,
+    /// Execution schedule (default [`PipelineKind::GPipe`]).
+    pub kind: PipelineKind,
 }
 
 impl PipelineSchedule {
-    /// Creates a schedule.
+    /// Creates a GPipe schedule (the historical constructor).
     ///
     /// # Panics
     ///
-    /// Panics if either degree is zero.
+    /// Panics if either degree is zero — use
+    /// [`PipelineSchedule::try_new`] for a typed error instead.
     pub fn new(stages: u32, micro_batches: u32) -> Self {
-        assert!(stages >= 1, "pipeline needs at least one stage");
-        assert!(micro_batches >= 1, "pipeline needs at least one micro-batch");
-        PipelineSchedule {
-            stages,
-            micro_batches,
+        match Self::try_new(PipelineKind::GPipe, stages, micro_batches) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// Occupied time slots from first fill to last drain.
+    /// Fallible constructor with an explicit [`PipelineKind`]: returns a
+    /// typed [`EngineError`](crate::engine::EngineError) instead of
+    /// panicking on a zero degree, so deployment probes (and
+    /// `EngineBuilder::try_build`) can reject bad configurations without
+    /// unwinding.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidParallelism`](crate::engine::EngineError) when
+    /// `stages` or `micro_batches` is zero.
+    pub fn try_new(
+        kind: PipelineKind,
+        stages: u32,
+        micro_batches: u32,
+    ) -> Result<Self, crate::engine::EngineError> {
+        use crate::engine::EngineError;
+        if stages == 0 {
+            return Err(EngineError::InvalidParallelism("stages"));
+        }
+        if micro_batches == 0 {
+            return Err(EngineError::InvalidParallelism("micro_batches"));
+        }
+        Ok(PipelineSchedule {
+            stages,
+            micro_batches,
+            kind,
+        })
+    }
+
+    /// Switches the schedule kind (builder style).
+    pub fn with_kind(mut self, kind: PipelineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Occupied time slots of one isolated fill/drain pass — a property of
+    /// the `(stages, micro_batches)` grid, independent of the schedule
+    /// kind. This is what a one-shot pass (cold prefill) costs; steady-state
+    /// per-step accounting is [`PipelineSchedule::slots_f`].
     pub fn slots(&self) -> u32 {
         self.stages + self.micro_batches - 1
     }
 
+    /// Idle slots each stage pays per step under this schedule: the
+    /// closed-form bubble terms — `stages − 1` for GPipe fill/drain,
+    /// `(stages − 1) / micro_batches` for the interleaved 1F1B steady
+    /// state (the fill/drain amortizes over the in-flight micro-batch
+    /// positions of consecutive overlapping steps).
+    pub fn steady_idle_slots(&self) -> f64 {
+        let fill = (self.stages - 1) as f64;
+        match self.kind {
+            PipelineKind::GPipe => fill,
+            PipelineKind::OneFOneB => fill / self.micro_batches as f64,
+        }
+    }
+
+    /// Effective slots charged per step: `micro_batches` busy slots plus
+    /// the schedule's idle slots. Equals [`PipelineSchedule::slots`] under
+    /// GPipe; strictly smaller under 1F1B whenever `stages > 1` and
+    /// `micro_batches > 1`.
+    pub fn slots_f(&self) -> f64 {
+        self.micro_batches as f64 + self.steady_idle_slots()
+    }
+
     /// Fraction of the makespan each stage sits idle waiting for the
-    /// pipeline to fill or drain.
+    /// pipeline to fill or drain: `(stages − 1) / (stages +
+    /// micro_batches − 1)` under GPipe, `(stages − 1) / (micro_batches² +
+    /// stages − 1)` under 1F1B — strictly smaller for `micro_batches ≥ 2`,
+    /// identical at a single micro-batch (nothing to interleave).
     pub fn bubble_fraction(&self) -> f64 {
-        (self.stages - 1) as f64 / self.slots() as f64
+        self.steady_idle_slots() / self.slots_f()
     }
 
     /// Makespan in the unit of `stage_time` for per-micro-batch stage time
     /// `stage_time` and per-hop transfer `hop_time`.
     pub fn makespan(&self, stage_time: f64, hop_time: f64) -> f64 {
-        self.slots() as f64 * (stage_time + hop_time)
+        self.slots_f() * (stage_time + hop_time)
     }
 }
 
@@ -229,5 +335,47 @@ mod tests {
         // (4 + 8 − 1) × 4 = 44 ms.
         let s = PipelineSchedule::new(4, 8);
         assert_eq!(s.makespan(3.0, 1.0), 44.0);
+    }
+
+    #[test]
+    fn one_f_one_b_amortizes_the_fill_drain() {
+        // 4 stages, 8 micro-batches: GPipe idles 3 whole slots per step,
+        // 1F1B amortizes that to 3/8 of a slot.
+        let gpipe = PipelineSchedule::new(4, 8);
+        let ifib = gpipe.with_kind(PipelineKind::OneFOneB);
+        assert_eq!(gpipe.steady_idle_slots(), 3.0);
+        assert_eq!(ifib.steady_idle_slots(), 3.0 / 8.0);
+        // slots_f: GPipe keeps the integer slot count; 1F1B is strictly
+        // shorter per step.
+        assert_eq!(gpipe.slots_f(), gpipe.slots() as f64);
+        assert!(ifib.slots_f() < gpipe.slots_f());
+        assert!(ifib.bubble_fraction() < gpipe.bubble_fraction());
+        assert!(ifib.makespan(3.0, 1.0) < gpipe.makespan(3.0, 1.0));
+        // The grid-shape slot count is schedule independent.
+        assert_eq!(ifib.slots(), gpipe.slots());
+    }
+
+    #[test]
+    fn schedules_coincide_with_one_micro_batch_or_one_stage() {
+        // m = 1: nothing to interleave, both pay the full fill/drain.
+        let g = PipelineSchedule::new(4, 1);
+        let i = g.with_kind(PipelineKind::OneFOneB);
+        assert_eq!(i.bubble_fraction(), g.bubble_fraction());
+        assert_eq!(i.makespan(2.0, 0.5), g.makespan(2.0, 0.5));
+        // pp = 1: no pipeline, no bubble under either schedule.
+        let flat = PipelineSchedule::new(1, 4).with_kind(PipelineKind::OneFOneB);
+        assert_eq!(flat.bubble_fraction(), 0.0);
+        assert_eq!(flat.makespan(2.0, 0.0), 8.0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_degrees() {
+        assert!(PipelineSchedule::try_new(PipelineKind::GPipe, 0, 4).is_err());
+        assert!(PipelineSchedule::try_new(PipelineKind::OneFOneB, 4, 0).is_err());
+        let ok =
+            PipelineSchedule::try_new(PipelineKind::OneFOneB, 4, 8).expect("non-zero degrees plan");
+        assert_eq!(ok.kind, PipelineKind::OneFOneB);
+        assert_eq!(ok.kind.name(), "1f1b");
+        assert_eq!(PipelineKind::default(), PipelineKind::GPipe);
     }
 }

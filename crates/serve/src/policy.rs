@@ -179,6 +179,14 @@ pub struct RunningRequest {
     pub first_token_s: Option<f64>,
     /// Fault-driven re-queues this request has survived so far.
     pub retries: u32,
+    /// Per-stage prefill chunks still to run before this request joins the
+    /// decode batch. Always 0 under the legacy whole-prefill admission;
+    /// under chunked prefill (`pp ≥ 2` streaming admission) a freshly
+    /// admitted request enters at `pp` chunks and counts down as the
+    /// scheduler advances chunks between decode steps — policies can
+    /// distinguish mid-prefill residents ([`RunningRequest::is_prefilling`])
+    /// from decode-ready ones when picking victims.
+    pub prefill_chunks_left: u32,
 }
 
 impl RunningRequest {
@@ -190,6 +198,12 @@ impl RunningRequest {
     /// KV tokens currently held (prompt + generated context).
     pub fn kv_tokens(&self) -> u64 {
         self.req.prompt_len + self.generated
+    }
+
+    /// Whether this resident is still streaming prefill chunks (chunked
+    /// prefill only; always `false` under legacy whole-prefill admission).
+    pub fn is_prefilling(&self) -> bool {
+        self.prefill_chunks_left > 0
     }
 }
 
@@ -209,8 +223,12 @@ pub trait SchedulePolicy: core::fmt::Debug + Send + Sync {
     /// admission this round. Every entry of `queued` has already arrived,
     /// and the slice is ordered by arrival time (stable: ties keep
     /// submission order, preempted requests re-enter by original arrival).
-    fn select(&self, queued: &[QueuedRequest], running: &[RunningRequest], now: f64)
-        -> Option<usize>;
+    fn select(
+        &self,
+        queued: &[QueuedRequest],
+        running: &[RunningRequest],
+        now: f64,
+    ) -> Option<usize>;
 
     /// Index into `running` of a victim to preempt so `candidate` can fit,
     /// or `None` to refuse preemption (the default).
@@ -371,9 +389,7 @@ impl SchedulePolicy for Priority {
         running
             .iter()
             .enumerate()
-            .filter(|(_, r)| {
-                r.req.priority.rank() < cand_rank && r.preemptions < MAX_PREEMPTIONS
-            })
+            .filter(|(_, r)| r.req.priority.rank() < cand_rank && r.preemptions < MAX_PREEMPTIONS)
             .min_by(|(_, a), (_, b)| {
                 a.req
                     .priority
@@ -403,7 +419,9 @@ pub struct SloEdf {
 
 impl Default for SloEdf {
     fn default() -> Self {
-        SloEdf { default_ttft_s: 10.0 }
+        SloEdf {
+            default_ttft_s: 10.0,
+        }
     }
 }
 
@@ -541,9 +559,7 @@ mod tests {
     use super::*;
 
     fn q(id: u64, arrival: f64, out: u64, prio: PriorityClass) -> QueuedRequest {
-        QueuedRequest::fresh(
-            Request::new(id, arrival, 128, out).with_priority(prio),
-        )
+        QueuedRequest::fresh(Request::new(id, arrival, 128, out).with_priority(prio))
     }
 
     #[test]
@@ -560,7 +576,10 @@ mod tests {
 
     #[test]
     fn priority_prefers_higher_tier_then_ages() {
-        let p = Priority { aging_s: 10.0, preemptive: false };
+        let p = Priority {
+            aging_s: 10.0,
+            preemptive: false,
+        };
         let queued = [
             q(1, 0.0, 64, PriorityClass::Batch),
             q(2, 5.0, 64, PriorityClass::Standard),
@@ -600,7 +619,10 @@ mod tests {
 
         // Priority: resume priority breaks ties *within* a tier but never
         // inverts tiers.
-        let p = Priority { aging_s: 1e9, preemptive: true };
+        let p = Priority {
+            aging_s: 1e9,
+            preemptive: true,
+        };
         let mut std_victim = q(3, 0.0, 64, PriorityClass::Standard);
         std_victim.preemptions = 1;
         let std_fresh = q(4, 0.0, 64, PriorityClass::Standard);
@@ -629,6 +651,7 @@ mod tests {
             first_admitted_s: 0.0,
             first_token_s: None,
             retries: 0,
+            prefill_chunks_left: 0,
         }];
         // Equal remaining output: no preemption.
         assert_eq!(sjf.victim(&cand, &running, 1.0), None);

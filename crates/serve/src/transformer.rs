@@ -121,7 +121,11 @@ impl TinyLlm {
     /// Panics if the config dimensions are not multiples of 8 or heads do
     /// not divide the hidden size.
     pub fn random(config: TinyConfig, seed: u64) -> Self {
-        assert!(config.hidden.is_multiple_of(8) && config.ffn.is_multiple_of(8) && config.vocab.is_multiple_of(8));
+        assert!(
+            config.hidden.is_multiple_of(8)
+                && config.ffn.is_multiple_of(8)
+                && config.vocab.is_multiple_of(8)
+        );
         assert_eq!(config.hidden % config.heads, 0, "heads must divide hidden");
         use zipserv_bf16::gen::WeightGen;
         let sigma = (2.0 / config.hidden as f64).sqrt();
@@ -182,7 +186,10 @@ impl TinyLlm {
         // Activations are column-per-token: hidden × seq.
         let mut x = Matrix::<Bf16>::zeros(h, seq);
         for (t, &tok) in tokens.iter().enumerate() {
-            assert!((tok as usize) < self.config.vocab, "token {tok} out of vocab");
+            assert!(
+                (tok as usize) < self.config.vocab,
+                "token {tok} out of vocab"
+            );
             for d in 0..h {
                 x[(d, t)] = self.embed[(tok as usize, d)];
             }
@@ -230,7 +237,11 @@ impl TinyLlm {
     /// (`3·hidden × seq`). Softmax in `f64` for determinism headroom, then
     /// rounded through `f32`.
     fn attention(&self, qkv: &Matrix<Bf16>, seq: usize) -> Matrix<Bf16> {
-        let (h, heads, hd) = (self.config.hidden, self.config.heads, self.config.head_dim());
+        let (h, heads, hd) = (
+            self.config.hidden,
+            self.config.heads,
+            self.config.head_dim(),
+        );
         let scale = 1.0 / (hd as f64).sqrt();
         let mut out = Matrix::<Bf16>::zeros(h, seq);
         for head in 0..heads {

@@ -210,7 +210,10 @@ mod tests {
         let batch = count(PriorityClass::Batch);
         assert_eq!(interactive + standard + batch, 600);
         // Shares within a loose band of 0.5 / 0.3 / 0.2.
-        assert!((interactive as f64 / 600.0 - 0.5).abs() < 0.1, "{interactive}");
+        assert!(
+            (interactive as f64 / 600.0 - 0.5).abs() < 0.1,
+            "{interactive}"
+        );
         assert!((standard as f64 / 600.0 - 0.3).abs() < 0.1, "{standard}");
         assert!((batch as f64 / 600.0 - 0.2).abs() < 0.1, "{batch}");
         // QoS rides along with the class.

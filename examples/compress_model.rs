@@ -14,7 +14,12 @@ use zipserv::tbe::TbeCompressor;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = LlmModel::Llama31_8b;
     let dims = model.dims();
-    println!("model: {} (hidden {}, {} layers)", model.name(), dims.hidden, dims.layers);
+    println!(
+        "model: {} (hidden {}, {} layers)",
+        model.name(),
+        dims.hidden,
+        dims.layers
+    );
 
     // Compress one representative shard of each layer kind. Shapes are the
     // real ones; we sample a 1/16 row slice to keep the demo quick and

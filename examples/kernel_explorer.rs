@@ -24,7 +24,10 @@ fn main() {
     let shape = GemmShape::new(m, k, n);
     let stats = typical_stats(m, k);
 
-    println!("GEMM {m}x{k} @ N={n}  ({:.1} MB of BF16 weights)", (2 * m * k) as f64 / 1e6);
+    println!(
+        "GEMM {m}x{k} @ N={n}  ({:.1} MB of BF16 weights)",
+        (2 * m * k) as f64 / 1e6
+    );
     println!(
         "compute intensity: dense {:.1}, decoupled {:.1}, fused {:.1} flops/byte\n",
         compute_intensity(shape, PipelineKind::DenseGemm, 1.51),

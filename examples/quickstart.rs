@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .matrix(512, 512);
     let hist = ExponentHistogram::from_matrix(&weights);
     let summary = ExponentSummary::from_histogram(&hist);
-    println!("exponent entropy : {:.2} bits (of 8 allocated)", summary.entropy_bits);
+    println!(
+        "exponent entropy : {:.2} bits (of 8 allocated)",
+        summary.entropy_bits
+    );
     println!("top-7 coverage   : {:.1}%", 100.0 * summary.top7_coverage);
 
     // 2. Compress with TCA-TBE (Algorithm 1) — lossless, bit-exact.
@@ -40,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y = kernel.multiply(&compressed, &x);
     let dense = zipserv::kernels::gemm_ref::gemm(&weights, &x);
     assert_eq!(y.as_slice(), dense.as_slice());
-    assert_eq!(y.as_slice(), kernel.multiply_reference(&compressed, &x).as_slice());
-    assert_eq!(y.as_slice(), kernel.multiply_parallel(&compressed, &x, 4).as_slice());
+    assert_eq!(
+        y.as_slice(),
+        kernel.multiply_reference(&compressed, &x).as_slice()
+    );
+    assert_eq!(
+        y.as_slice(),
+        kernel.multiply_parallel(&compressed, &x, 4).as_slice()
+    );
     println!("fused == dense == naive == parallel : bitwise identical\n");
 
     // 4. Deploy a serving engine with the fluent builder: deployment axes
@@ -62,10 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    priority tiers with aging + preemption. The interactive class has
     //    a 2s TTFT / 100ms TPOT SLO (see ArrivalMix::paper_mix).
     let arrivals = ArrivalMix::paper_mix().generate(10.0, 120, 29);
-    let priority_engine = ServingEngine::builder()
-        .policy(Priority::default())
-        .build();
-    println!("\n{:>10} {:>8} {:>14} {:>10} {:>9}", "policy", "tok/s", "p99 TTFT int", "SLO att.", "preempts");
+    let priority_engine = ServingEngine::builder().policy(Priority::default()).build();
+    println!(
+        "\n{:>10} {:>8} {:>14} {:>10} {:>9}",
+        "policy", "tok/s", "p99 TTFT int", "SLO att.", "preempts"
+    );
     for (engine, report) in [
         (&fcfs_engine, fcfs_engine.serve_online(arrivals.clone())),
         (&priority_engine, priority_engine.serve_online(arrivals)),

@@ -35,8 +35,10 @@ fn main() {
     }
 
     // Figure 16: the workload sweep.
-    println!("\n{:<6} {:>5} | {:>16} {:>16} {:>16} {:>16}", "batch", "out",
-             "ZipServ", "vLLM", "Transformers", "DFloat11");
+    println!(
+        "\n{:<6} {:>5} | {:>16} {:>16} {:>16} {:>16}",
+        "batch", "out", "ZipServ", "vLLM", "Transformers", "DFloat11"
+    );
     for w in Workload::paper_sweep() {
         print!("{:<6} {:>5} |", w.batch, w.output_len);
         for kind in EngineKind::ALL {

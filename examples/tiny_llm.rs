@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Archive round-trip: serialize a compressed tensor and reload it.
     use zipserv::tbe::format::archive::ModelArchive;
     use zipserv::tbe::TbeCompressor;
-    let w = zipserv::bf16::gen::WeightGen::new(0.02).seed(1).matrix(64, 64);
+    let w = zipserv::bf16::gen::WeightGen::new(0.02)
+        .seed(1)
+        .matrix(64, 64);
     let mut archive = ModelArchive::new();
     archive.insert("demo.layer", TbeCompressor::new().compress(&w)?);
     let bytes = archive.to_bytes();

@@ -31,8 +31,12 @@ fn run() -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("compress") if args.len() == 5 => {
             let raw = fs::read(&args[1]).map_err(|e| format!("read {}: {e}", args[1]))?;
-            let rows: usize = args[2].parse().map_err(|_| "rows must be an integer".to_string())?;
-            let cols: usize = args[3].parse().map_err(|_| "cols must be an integer".to_string())?;
+            let rows: usize = args[2]
+                .parse()
+                .map_err(|_| "rows must be an integer".to_string())?;
+            let cols: usize = args[3]
+                .parse()
+                .map_err(|_| "cols must be an integer".to_string())?;
             if raw.len() != rows * cols * 2 {
                 return Err(format!(
                     "{} holds {} bytes but {rows}x{cols} BF16 needs {}",
@@ -46,7 +50,9 @@ fn run() -> Result<(), String> {
                 .map(|c| Bf16::from_bits(u16::from_le_bytes([c[0], c[1]])))
                 .collect();
             let m = Matrix::from_vec(rows, cols, data);
-            let tbe = TbeCompressor::new().compress(&m).map_err(|e| e.to_string())?;
+            let tbe = TbeCompressor::new()
+                .compress(&m)
+                .map_err(|e| e.to_string())?;
             let blob = serialize::to_bytes(&tbe);
             fs::write(&args[4], &blob).map_err(|e| format!("write {}: {e}", args[4]))?;
             println!(
@@ -68,7 +74,13 @@ fn run() -> Result<(), String> {
                 out.extend_from_slice(&v.to_bits().to_le_bytes());
             }
             fs::write(&args[2], &out).map_err(|e| format!("write {}: {e}", args[2]))?;
-            println!("{} -> {} ({}x{} BF16)", args[1], args[2], m.rows(), m.cols());
+            println!(
+                "{} -> {} ({}x{} BF16)",
+                args[1],
+                args[2],
+                m.rows(),
+                m.cols()
+            );
             Ok(())
         }
         Some("inspect") if args.len() == 2 => {
@@ -77,9 +89,17 @@ fn run() -> Result<(), String> {
             let s = tbe.stats();
             println!("shape            : {}x{}", tbe.rows(), tbe.cols());
             println!("base exponent    : {}", tbe.base_exp());
-            println!("FragTiles        : {} in {} BlockTiles", tbe.tile_count(), tbe.block_count());
+            println!(
+                "FragTiles        : {} in {} BlockTiles",
+                tbe.tile_count(),
+                tbe.block_count()
+            );
             println!("raw bytes        : {}", s.raw_bytes);
-            println!("compressed bytes : {} ({:.1}% of raw)", s.compressed_bytes(), s.size_percent());
+            println!(
+                "compressed bytes : {} ({:.1}% of raw)",
+                s.compressed_bytes(),
+                s.size_percent()
+            );
             println!("bits / element   : {:.2}", s.bits_per_element());
             println!("high-freq cover  : {:.2}%", 100.0 * s.coverage());
             println!(
@@ -89,10 +109,16 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Some("demo") if args.len() == 4 => {
-            let rows: usize = args[1].parse().map_err(|_| "rows must be an integer".to_string())?;
-            let cols: usize = args[2].parse().map_err(|_| "cols must be an integer".to_string())?;
+            let rows: usize = args[1]
+                .parse()
+                .map_err(|_| "rows must be an integer".to_string())?;
+            let cols: usize = args[2]
+                .parse()
+                .map_err(|_| "cols must be an integer".to_string())?;
             let m = WeightGen::new(0.018).seed(1).matrix(rows, cols);
-            let tbe = TbeCompressor::new().compress(&m).map_err(|e| e.to_string())?;
+            let tbe = TbeCompressor::new()
+                .compress(&m)
+                .map_err(|e| e.to_string())?;
             fs::write(&args[3], serialize::to_bytes(&tbe))
                 .map_err(|e| format!("write {}: {e}", args[3]))?;
             println!("wrote synthetic {rows}x{cols} model to {}", args[3]);

@@ -50,11 +50,10 @@ pub mod prelude {
     };
     pub use crate::serve::metrics::RobustnessStats;
     pub use crate::serve::policy::{
-        Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo,
-        SloEdf,
+        Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,
     };
     pub use crate::serve::scheduler::{poisson_arrivals, Request, ScheduleReport};
     pub use crate::serve::workload::{ArrivalMix, TrafficClass, Workload};
-    pub use crate::serve::{GpuCluster, KvShards, PagedKvCache, PipelineSchedule};
+    pub use crate::serve::{GpuCluster, KvShards, PagedKvCache, PipelineKind, PipelineSchedule};
     pub use crate::tbe::{TbeCompressor, TbeMatrix};
 }

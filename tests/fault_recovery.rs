@@ -96,14 +96,8 @@ fn seeded_faults_resolve_every_request_exactly_once() {
         let arrivals = ArrivalMix::paper_mix().generate(10.0, 60, seed);
         let all_ids: BTreeSet<u64> = arrivals.iter().map(|r| r.id).collect();
         let plan = FaultPlan::seeded(seed, 8.0, ranks);
-        let report = run_policy_faulted(
-            &engine,
-            &Fcfs,
-            64,
-            arrivals,
-            &plan,
-            &RetryPolicy::default(),
-        );
+        let report =
+            run_policy_faulted(&engine, &Fcfs, 64, arrivals, &plan, &RetryPolicy::default());
         let completed: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
         let completed_set: BTreeSet<u64> = completed.iter().copied().collect();
         assert_eq!(
@@ -125,7 +119,10 @@ fn seeded_faults_resolve_every_request_exactly_once() {
         assert_eq!(resolved, all_ids, "seed {seed}: some request vanished");
         // The books match the plan.
         assert_eq!(report.robustness.faults_injected as usize, plan.len());
-        assert_eq!(report.robustness.rank_failures, 1, "seeded plans fail one rank");
+        assert_eq!(
+            report.robustness.rank_failures, 1,
+            "seeded plans fail one rank"
+        );
         assert!(report.availability() > 0.0 && report.availability() <= 1.0);
         assert!(report.goodput_tps() <= report.throughput_tps + 1e-9);
     }
@@ -139,7 +136,14 @@ fn faulted_runs_are_deterministic() {
     let arrivals = ArrivalMix::paper_mix().generate(10.0, 80, 11);
     let plan = FaultPlan::seeded(7, 8.0, engine.cluster().total_ranks());
     let retry = RetryPolicy::default();
-    let a = run_policy_faulted(&engine, &SloEdf::default(), 64, arrivals.clone(), &plan, &retry);
+    let a = run_policy_faulted(
+        &engine,
+        &SloEdf::default(),
+        64,
+        arrivals.clone(),
+        &plan,
+        &retry,
+    );
     let b = run_policy_faulted(&engine, &SloEdf::default(), 64, arrivals, &plan, &retry);
     assert_eq!(a, b);
 }
@@ -163,9 +167,15 @@ fn retry_cap_exhaustion_yields_typed_rejection() {
         ..RetryPolicy::default()
     };
     let report = run_policy_faulted(&engine, &Fcfs, 64, vec![req], &plan, &retry);
-    assert!(report.completions.is_empty(), "second wave must exhaust the cap");
+    assert!(
+        report.completions.is_empty(),
+        "second wave must exhaust the cap"
+    );
     assert_eq!(report.rejected_for(RejectReason::RetriesExhausted), vec![0]);
-    assert_eq!(report.robustness.retries, 1, "one retry granted before the cap");
+    assert_eq!(
+        report.robustness.retries, 1,
+        "one retry granted before the cap"
+    );
     assert_eq!(report.robustness.rank_failures, 2);
     // The retry recomputed the prompt (plus any generated tokens).
     assert!(report.robustness.recomputed_tokens >= 512);
@@ -178,7 +188,11 @@ fn retry_cap_exhaustion_yields_typed_rejection() {
         &plan,
         &RetryPolicy::default(),
     );
-    assert_eq!(lenient.completions.len(), 1, "default cap survives two waves");
+    assert_eq!(
+        lenient.completions.len(),
+        1,
+        "default cap survives two waves"
+    );
     assert_eq!(lenient.completions[0].retries, 2);
     assert!(lenient.rejections.is_empty());
 }
@@ -197,8 +211,14 @@ fn fault_mid_prefill_recomputes_the_prompt() {
     let plan = FaultPlan::new()
         .rank_fail(0.5 * prefill_s, 1)
         .rank_repair(prefill_s + 0.01, 1);
-    let report =
-        run_policy_faulted(&engine, &Fcfs, 64, vec![req], &plan, &RetryPolicy::default());
+    let report = run_policy_faulted(
+        &engine,
+        &Fcfs,
+        64,
+        vec![req],
+        &plan,
+        &RetryPolicy::default(),
+    );
     assert_eq!(report.completions.len(), 1);
     let c = &report.completions[0];
     assert_eq!(c.retries, 1);
@@ -226,8 +246,14 @@ fn fault_mid_decode_recomputes_prompt_plus_generated() {
     let plan = FaultPlan::new()
         .rank_fail(fail_at, 0)
         .rank_repair(fail_at + 0.05, 0);
-    let report =
-        run_policy_faulted(&engine, &Fcfs, 64, vec![req], &plan, &RetryPolicy::default());
+    let report = run_policy_faulted(
+        &engine,
+        &Fcfs,
+        64,
+        vec![req],
+        &plan,
+        &RetryPolicy::default(),
+    );
     assert_eq!(report.completions.len(), 1);
     let c = &report.completions[0];
     assert_eq!(c.retries, 1);
@@ -238,7 +264,10 @@ fn fault_mid_decode_recomputes_prompt_plus_generated() {
         512,
         report.robustness.recomputed_tokens
     );
-    assert!(report.duration_s > clean_duration, "the fault cost real time");
+    assert!(
+        report.duration_s > clean_duration,
+        "the fault cost real time"
+    );
 }
 
 /// Repair while victims are still queued: the recovery window opens at the
@@ -257,11 +286,16 @@ fn repair_while_victims_queued_closes_the_recovery_window() {
         base_backoff_s: repair_at - fail_at + 0.1, // backoff outlasts the outage
         multiplier: 2.0,
     };
-    let plan = FaultPlan::new().rank_fail(fail_at, 0).rank_repair(repair_at, 0);
+    let plan = FaultPlan::new()
+        .rank_fail(fail_at, 0)
+        .rank_repair(repair_at, 0);
     let report = run_policy_faulted(&engine, &Fcfs, 64, vec![req], &plan, &retry);
     assert_eq!(report.completions.len(), 1);
     assert_eq!(report.robustness.recoveries, 1, "one recovery window");
-    let ttr = report.robustness.mean_time_to_recover_s().expect("recovered");
+    let ttr = report
+        .robustness
+        .mean_time_to_recover_s()
+        .expect("recovered");
     assert!(
         ttr >= retry.base_backoff_s - 1e-9,
         "victim could not re-admit before its {:.2}s backoff, ttr {ttr:.2}s",
@@ -324,16 +358,12 @@ fn brownout_sheds_only_fresh_batch_traffic() {
     // (A strict-priority policy never picks Batch while urgent work is
     // pending, so it sheds nothing; that is policy behavior, not a gap.)
     let plan = FaultPlan::new().rank_fail(1.0, 0).rank_repair(4.0, 0);
-    let report = run_policy_faulted(
-        &engine,
-        &Fcfs,
-        64,
-        arrivals,
-        &plan,
-        &RetryPolicy::default(),
-    );
+    let report = run_policy_faulted(&engine, &Fcfs, 64, arrivals, &plan, &RetryPolicy::default());
     let shed = report.rejected_for(RejectReason::BrownoutShed);
-    assert!(!shed.is_empty(), "a 3s outage under 20 req/s must shed something");
+    assert!(
+        !shed.is_empty(),
+        "a 3s outage under 20 req/s must shed something"
+    );
     for id in &shed {
         assert_eq!(
             class_of[id],
@@ -363,8 +393,7 @@ fn link_degradation_slows_but_loses_nothing() {
     let clean = run_policy(&engine, &Fcfs, 64, arrivals.clone());
     assert!(clean.comm_s > 0.0, "TP deployment pays communication");
     let plan = FaultPlan::new().link_degrade(0.0, 4.0, clean.duration_s * 2.0);
-    let report =
-        run_policy_faulted(&engine, &Fcfs, 64, arrivals, &plan, &RetryPolicy::default());
+    let report = run_policy_faulted(&engine, &Fcfs, 64, arrivals, &plan, &RetryPolicy::default());
     assert_eq!(report.completions.len(), clean.completions.len());
     assert!(report.rejections.is_empty());
     assert_eq!(report.robustness.link_degrades, 1);
@@ -394,7 +423,14 @@ fn stalls_and_corrupt_frames_charge_time() {
     let last_arrival = arrivals.last().expect("non-empty").arrival_s;
     assert!(clean.duration_s > last_arrival);
     let stall = FaultPlan::new().kv_stall(last_arrival + 0.01, 0.75);
-    let rs = run_policy_faulted(&engine, &Fcfs, 64, arrivals.clone(), &stall, &RetryPolicy::default());
+    let rs = run_policy_faulted(
+        &engine,
+        &Fcfs,
+        64,
+        arrivals.clone(),
+        &stall,
+        &RetryPolicy::default(),
+    );
     assert_eq!(rs.completions.len(), clean.completions.len());
     assert_eq!(rs.robustness.stall_s, 0.75);
     assert!(
@@ -407,7 +443,14 @@ fn stalls_and_corrupt_frames_charge_time() {
     let refetch = engine.frame_refetch_s();
     assert!(refetch > 0.0, "a compressed frame takes time to re-fetch");
     let corrupt = FaultPlan::new().corrupt_frame(0.1, 3);
-    let rc = run_policy_faulted(&engine, &Fcfs, 64, arrivals, &corrupt, &RetryPolicy::default());
+    let rc = run_policy_faulted(
+        &engine,
+        &Fcfs,
+        64,
+        arrivals,
+        &corrupt,
+        &RetryPolicy::default(),
+    );
     assert_eq!(rc.completions.len(), clean.completions.len());
     assert_eq!(rc.robustness.frame_corruptions, 3);
     assert!(
@@ -454,8 +497,7 @@ fn goodput_under_faults_trails_clean_goodput() {
         "clean runs complete everything, so goodput == throughput"
     );
     let plan = FaultPlan::new().rank_fail(1.0, 0).rank_repair(3.0, 0);
-    let faulted =
-        run_policy_faulted(&engine, &Fcfs, 64, arrivals, &plan, &RetryPolicy::default());
+    let faulted = run_policy_faulted(&engine, &Fcfs, 64, arrivals, &plan, &RetryPolicy::default());
     assert!(faulted.goodput_tps() <= faulted.throughput_tps + 1e-9);
     assert!(
         faulted.goodput_tps() < clean.goodput_tps(),
@@ -463,4 +505,92 @@ fn goodput_under_faults_trails_clean_goodput() {
         faulted.goodput_tps(),
         clean.goodput_tps()
     );
+}
+
+/// A rank failure landing while residents are still streaming prefill
+/// chunks (pp = 2, chunked prefill on by default): the dead rank's shard
+/// is invalidated, the mid-chunk victim re-queues with nothing generated,
+/// re-reserves pages on the surviving layout after the repair, and
+/// re-streams its prompt to completion with one recorded retry.
+#[test]
+fn rank_failure_mid_chunk_recovers_under_chunked_prefill() {
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 1, 2))
+        .build();
+    assert!(
+        engine.chunked_prefill(),
+        "pp >= 2 must default to chunked prefill"
+    );
+    let req = Request::new(0, 0.0, 4096, 64);
+    let (clean_ttft, clean_duration) = clean_solo(&engine, req);
+    let prefill_s = engine.prefill_ms(1, 4096) / 1e3;
+    assert!(prefill_s < clean_ttft, "prefill is part of TTFT");
+    // Strike halfway through the streamed prefill; repair soon after.
+    let plan = FaultPlan::new()
+        .rank_fail(0.5 * prefill_s, 1)
+        .rank_repair(prefill_s + 0.01, 1);
+    let report = run_policy_faulted(
+        &engine,
+        &Fcfs,
+        64,
+        vec![req],
+        &plan,
+        &RetryPolicy::default(),
+    );
+    assert_eq!(report.completions.len(), 1);
+    let c = &report.completions[0];
+    assert_eq!(c.retries, 1);
+    assert_eq!(c.output_len, 64, "completion keeps its full output");
+    assert!(
+        report.robustness.recomputed_tokens >= 4096,
+        "the recompute covers at least the prompt, got {}",
+        report.robustness.recomputed_tokens
+    );
+    assert!(
+        report.duration_s > clean_duration,
+        "the retry cost real time"
+    );
+}
+
+/// The exactly-once and determinism guarantees survive the streaming
+/// scheduler: on a pipelined deployment with chunked prefill and live
+/// shard-aware admission, seeded chaos plans still resolve every request
+/// exactly once, and the same plan over the same trace is bit-identical
+/// run after run.
+#[test]
+fn chunked_pipeline_chaos_resolves_every_request_exactly_once() {
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::pipeline_parallel(Gpu::L40s, 1, 2))
+        .build();
+    assert!(engine.chunked_prefill());
+    let ranks = engine.cluster().total_ranks();
+    for seed in 1..=8u64 {
+        let arrivals = ArrivalMix::paper_mix().generate(10.0, 60, seed);
+        let all_ids: BTreeSet<u64> = arrivals.iter().map(|r| r.id).collect();
+        let plan = FaultPlan::seeded(seed, 8.0, ranks);
+        let retry = RetryPolicy::default();
+        let report = run_policy_faulted(&engine, &Fcfs, 64, arrivals.clone(), &plan, &retry);
+        let completed_set: BTreeSet<u64> = report.completions.iter().map(|c| c.id).collect();
+        assert_eq!(
+            completed_set.len(),
+            report.completions.len(),
+            "seed {seed}: a request completed twice"
+        );
+        let rejected_set: BTreeSet<u64> = report.rejected.iter().copied().collect();
+        assert!(
+            completed_set.is_disjoint(&rejected_set),
+            "seed {seed}: completed AND rejected"
+        );
+        let resolved: BTreeSet<u64> = completed_set.union(&rejected_set).copied().collect();
+        assert_eq!(resolved, all_ids, "seed {seed}: some request vanished");
+        let again = run_policy_faulted(&engine, &Fcfs, 64, arrivals, &plan, &retry);
+        assert_eq!(
+            report, again,
+            "seed {seed}: chunked chaos run not deterministic"
+        );
+    }
 }

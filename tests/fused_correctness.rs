@@ -105,7 +105,9 @@ proptest! {
 
 #[test]
 fn bf16_output_path_matches() {
-    let w = Matrix::from_fn(64, 64, |r, c| Bf16::from_f32(((r * 64 + c) as f32).sin() * 0.02));
+    let w = Matrix::from_fn(64, 64, |r, c| {
+        Bf16::from_f32(((r * 64 + c) as f32).sin() * 0.02)
+    });
     let x = Matrix::from_fn(64, 4, |r, c| Bf16::from_f32(((r + c) as f32).cos()));
     let tbe = TbeCompressor::new().compress(&w).expect("tileable");
     let fused = ZipGemm::new().multiply_bf16(&tbe, &x);

@@ -17,10 +17,15 @@ use zipserv::tbe::TbeCompressor;
 /// Abstract: "reduces the model size by up to 30%".
 #[test]
 fn claim_model_size_reduction_up_to_30_percent() {
-    let w = WeightGen::for_family(ModelFamily::Mistral).seed(1).matrix(512, 512);
+    let w = WeightGen::for_family(ModelFamily::Mistral)
+        .seed(1)
+        .matrix(512, 512);
     let tbe = TbeCompressor::new().compress(&w).expect("tileable");
     let pct = tbe.stats().size_percent();
-    assert!(pct < 73.0, "compressed to {pct}% of raw — saving must approach 30%");
+    assert!(
+        pct < 73.0,
+        "compressed to {pct}% of raw — saving must approach 30%"
+    );
     assert!(pct > 65.0, "lossless format cannot beat the entropy floor");
 }
 
@@ -30,9 +35,24 @@ fn claim_exponent_statistics() {
     for family in ModelFamily::ALL {
         let weights = WeightGen::for_family(family).seed(3).vector(300_000);
         let s = ExponentSummary::from_histogram(&ExponentHistogram::from_values(weights));
-        assert!(s.entropy_bits > 2.3 && s.entropy_bits < 2.9, "{}: {}", family.name(), s.entropy_bits);
-        assert!(s.top3_coverage > 0.60, "{}: top3 {}", family.name(), s.top3_coverage);
-        assert!(s.top7_coverage > 0.95, "{}: top7 {}", family.name(), s.top7_coverage);
+        assert!(
+            s.entropy_bits > 2.3 && s.entropy_bits < 2.9,
+            "{}: {}",
+            family.name(),
+            s.entropy_bits
+        );
+        assert!(
+            s.top3_coverage > 0.60,
+            "{}: top3 {}",
+            family.name(),
+            s.top3_coverage
+        );
+        assert!(
+            s.top7_coverage > 0.95,
+            "{}: top7 {}",
+            family.name(),
+            s.top7_coverage
+        );
         assert!(s.top7_contiguous, "{}: contiguity", family.name());
     }
 }
@@ -42,7 +62,11 @@ fn claim_exponent_statistics() {
 #[test]
 fn claim_compute_intensity() {
     for p in figure5_series(&[8, 16, 32, 64], 1.51) {
-        assert!((p.decoupled_degradation() - 0.62).abs() < 0.015, "N={}", p.n);
+        assert!(
+            (p.decoupled_degradation() - 0.62).abs() < 0.015,
+            "N={}",
+            p.n
+        );
         assert!((p.fused_improvement() - 0.50).abs() < 0.04, "N={}", p.n);
     }
 }
@@ -58,7 +82,8 @@ fn claim_kernel_speedups() {
             for layer in LayerKind::BLOCK {
                 let shape = layer.gemm_shape(model, 32);
                 let dense = CublasTc::time(shape, &spec).total_us;
-                let fused = FusedZipGemm::time(&typical_stats(shape.m, shape.k), 32, &spec).total_us;
+                let fused =
+                    FusedZipGemm::time(&typical_stats(shape.m, shape.k), 32, &spec).total_us;
                 speedups.push(dense / fused);
             }
         }
@@ -87,7 +112,9 @@ fn claim_standalone_decompression_fastest() {
     let mut base = [0.0f64; 3];
     for layer in LayerKind::BLOCK {
         let (m, k) = layer.weight_dims(&dims);
-        zip += FusedZipGemm::decomp_profile(&typical_stats(m, k)).execute(&spec).total_us;
+        zip += FusedZipGemm::decomp_profile(&typical_stats(m, k))
+            .execute(&spec)
+            .total_us;
         for (i, codec) in BaselineCodec::ALL.iter().enumerate() {
             base[i] += codec.decomp_profile(m, k, 2.65).execute(&spec).total_us;
         }
@@ -107,13 +134,31 @@ fn claim_end_to_end_speedups() {
     let cluster = GpuCluster::single(Gpu::Rtx4090);
     let mut vs = [Vec::new(), Vec::new(), Vec::new()];
     for w in Workload::paper_sweep() {
-        let zip = ServingEngine::new(EngineKind::ZipServ, model, cluster).serve(w).throughput_tps;
-        vs[0].push(zip / ServingEngine::new(EngineKind::Vllm, model, cluster).serve(w).throughput_tps);
-        vs[1].push(zip / ServingEngine::new(EngineKind::Transformers, model, cluster).serve(w).throughput_tps);
-        vs[2].push(zip / ServingEngine::new(EngineKind::DFloat11, model, cluster).serve(w).throughput_tps);
+        let zip = ServingEngine::new(EngineKind::ZipServ, model, cluster)
+            .serve(w)
+            .throughput_tps;
+        vs[0].push(
+            zip / ServingEngine::new(EngineKind::Vllm, model, cluster)
+                .serve(w)
+                .throughput_tps,
+        );
+        vs[1].push(
+            zip / ServingEngine::new(EngineKind::Transformers, model, cluster)
+                .serve(w)
+                .throughput_tps,
+        );
+        vs[2].push(
+            zip / ServingEngine::new(EngineKind::DFloat11, model, cluster)
+                .serve(w)
+                .throughput_tps,
+        );
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    assert!(avg(&vs[0]) > 1.12 && avg(&vs[0]) < 1.45, "vs vLLM {}", avg(&vs[0]));
+    assert!(
+        avg(&vs[0]) > 1.12 && avg(&vs[0]) < 1.45,
+        "vs vLLM {}",
+        avg(&vs[0])
+    );
     assert!(avg(&vs[1]) > 2.2, "vs Transformers {}", avg(&vs[1]));
     assert!(avg(&vs[2]) > 4.5, "vs DFloat11 {}", avg(&vs[2]));
 }

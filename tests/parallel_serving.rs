@@ -37,10 +37,7 @@ fn tp1_pp1_axes_are_bit_identical_for_every_policy() {
     for kind in [EngineKind::ZipServ, EngineKind::Vllm] {
         let implicit = builder(kind).build();
         let explicit = builder(kind).tp(1).pp(1).micro_batches(1).build();
-        assert_eq!(
-            implicit.kv_capacity_tokens(),
-            explicit.kv_capacity_tokens()
-        );
+        assert_eq!(implicit.kv_capacity_tokens(), explicit.kv_capacity_tokens());
         for policy in all_policies() {
             let a = run_policy(&implicit, policy.as_ref(), 64, mix.clone());
             let b = run_policy(&explicit, policy.as_ref(), 64, mix.clone());
@@ -57,8 +54,14 @@ fn tp1_pp1_axes_are_bit_identical_for_every_policy() {
 fn paper_deployments_charge_allreduce_in_scheduler_steps() {
     let deployments = [
         (LlmModel::Llama31_8b, GpuCluster::single(Gpu::Rtx4090)),
-        (LlmModel::Mistral24b, GpuCluster::tensor_parallel(Gpu::L40s, 2)),
-        (LlmModel::Llama31_70b, GpuCluster::tensor_parallel(Gpu::L40s, 4)),
+        (
+            LlmModel::Mistral24b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 2),
+        ),
+        (
+            LlmModel::Llama31_70b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 4),
+        ),
     ];
     for (model, cluster) in deployments {
         let engine = ServingEngine::builder()
@@ -205,8 +208,16 @@ fn pageout_is_charged_at_both_ends() {
     };
     let report = run_policy(&engine, &policy, 64, arrivals);
     assert_eq!(report.preemptions, 1, "scenario preempts exactly once");
-    let victim = report.completions.iter().find(|c| c.id == 1).expect("victim");
-    let short = report.completions.iter().find(|c| c.id == 2).expect("short");
+    let victim = report
+        .completions
+        .iter()
+        .find(|c| c.id == 1)
+        .expect("victim");
+    let short = report
+        .completions
+        .iter()
+        .find(|c| c.id == 2)
+        .expect("short");
     assert_eq!(victim.preemptions, 1);
 
     // The short job was admitted only after paying the victim's page-out:
@@ -255,14 +266,16 @@ fn preempted_victim_resumes_before_fresh_arrivals() {
     // the first capacity window, hits the preemption cap, pins, and
     // finishes in the first third of the run.
     for i in 0..600u64 {
-        arrivals.push(
-            Request::new(1 + i, 0.2, 1024, 64).with_priority(PriorityClass::Batch),
-        );
+        arrivals.push(Request::new(1 + i, 0.2, 1024, 64).with_priority(PriorityClass::Batch));
     }
     let report = run_policy(&engine, &PreemptiveSjf::default(), 200, arrivals);
     assert_eq!(report.completions.len(), 601);
     assert!(report.preemptions >= 1, "the stream must evict the victim");
-    let victim = report.completions.iter().find(|c| c.id == 0).expect("victim");
+    let victim = report
+        .completions
+        .iter()
+        .find(|c| c.id == 0)
+        .expect("victim");
     assert!(victim.preemptions >= 1, "id 0 must be the preempted one");
     assert!(
         victim.latency_s < report.duration_s / 2.0,
@@ -278,7 +291,10 @@ fn preempted_victim_resumes_before_fresh_arrivals() {
         .iter()
         .filter(|c| c.latency_s + 0.2 > victim.latency_s && c.id != 0)
         .count();
-    assert!(after > 300, "only {after} batch jobs completed after the victim");
+    assert!(
+        after > 300,
+        "only {after} batch jobs completed after the victim"
+    );
 }
 
 /// Regression (micro-batch step-cache key): under pipeline micro-batching
@@ -300,7 +316,10 @@ fn tp4_pp2_step_cache_stays_hot() {
     assert_eq!(report.completions.len(), 60);
     let sc = report.step_cache;
     let steps = sc.hits + sc.misses;
-    assert!(steps > 200, "trace too short to exercise the cache: {steps}");
+    assert!(
+        steps > 200,
+        "trace too short to exercise the cache: {steps}"
+    );
     assert!(
         sc.hit_rate() > 0.9,
         "pipelined step cache defeated again: {} hits / {} misses",

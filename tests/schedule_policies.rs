@@ -138,7 +138,9 @@ fn preemption_is_accounted_and_bounded() {
     // instead of recompute prefills.
     let paged = run_policy(
         &engine,
-        &PreemptiveSjf { mode: PreemptionMode::PageOut },
+        &PreemptiveSjf {
+            mode: PreemptionMode::PageOut,
+        },
         64,
         arrivals.clone(),
     );

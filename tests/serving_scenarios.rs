@@ -11,8 +11,14 @@ use zipserv::serve::workload::{ArrivalMix, Workload};
 fn deployments() -> Vec<(LlmModel, GpuCluster)> {
     vec![
         (LlmModel::Llama31_8b, GpuCluster::single(Gpu::Rtx4090)),
-        (LlmModel::Mistral24b, GpuCluster::tensor_parallel(Gpu::L40s, 2)),
-        (LlmModel::Llama31_70b, GpuCluster::tensor_parallel(Gpu::L40s, 4)),
+        (
+            LlmModel::Mistral24b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 2),
+        ),
+        (
+            LlmModel::Llama31_70b,
+            GpuCluster::tensor_parallel(Gpu::L40s, 4),
+        ),
     ]
 }
 
@@ -35,7 +41,11 @@ fn throughput_ordering_is_stable_across_deployments() {
     for (model, cluster) in deployments() {
         let tput: Vec<f64> = EngineKind::ALL
             .iter()
-            .map(|&k| ServingEngine::new(k, model, cluster).serve(w).throughput_tps)
+            .map(|&k| {
+                ServingEngine::new(k, model, cluster)
+                    .serve(w)
+                    .throughput_tps
+            })
             .collect();
         assert!(tput[0] > tput[1], "{model}: ZipServ vs vLLM");
         assert!(tput[1] > tput[2], "{model}: vLLM vs Transformers");
@@ -49,7 +59,11 @@ fn kv_pressure_reported_consistently() {
     let engine = ServingEngine::new(EngineKind::Vllm, LlmModel::Llama31_8b, cluster);
     let light = engine.serve(Workload::new(4, 256, 128));
     let heavy = engine.serve(Workload::new(32, 512, 2048));
-    assert!(light.kv_pressure < 1.0, "light load fits: {}", light.kv_pressure);
+    assert!(
+        light.kv_pressure < 1.0,
+        "light load fits: {}",
+        light.kv_pressure
+    );
     assert!(heavy.kv_pressure > light.kv_pressure);
 }
 

@@ -36,8 +36,14 @@ fn executor_agrees_with_roofline_on_the_bound() {
         let predicted_mem_bound = ci < spec.ridge_flops_per_byte();
         let t = CublasTc::time(shape, &spec);
         match t.bottleneck() {
-            "mem" => assert!(predicted_mem_bound, "N={n}: executor says mem, roofline says compute (CI {ci})"),
-            "tensor" => assert!(!predicted_mem_bound, "N={n}: executor says tensor, roofline says memory (CI {ci})"),
+            "mem" => assert!(
+                predicted_mem_bound,
+                "N={n}: executor says mem, roofline says compute (CI {ci})"
+            ),
+            "tensor" => assert!(
+                !predicted_mem_bound,
+                "N={n}: executor says tensor, roofline says memory (CI {ci})"
+            ),
             other => panic!("unexpected bottleneck {other}"),
         }
     }
@@ -102,7 +108,13 @@ fn every_gpu_orders_decode_kernels_identically() {
         let decoupled = DecoupledPipeline::new(BaselineCodec::DFloat11)
             .time(shape, &spec)
             .total_us();
-        assert!(marlin < best_lossless * 1.05, "{gpu:?}: lossy reads fewer bytes");
-        assert!(decoupled > 2.0 * best_lossless, "{gpu:?}: decoupled is far slower");
+        assert!(
+            marlin < best_lossless * 1.05,
+            "{gpu:?}: lossy reads fewer bytes"
+        );
+        assert!(
+            decoupled > 2.0 * best_lossless,
+            "{gpu:?}: decoupled is far slower"
+        );
     }
 }
