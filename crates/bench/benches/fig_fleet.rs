@@ -1,0 +1,55 @@
+//! Fleet-routing race: four ZipServ replicas serving the paper's mixed
+//! trace under round-robin vs power-of-two-choices routing.
+//!
+//! The printed `figures::fleet()` tables record the modeled outcomes —
+//! the per-policy TTFT/throughput/imbalance comparison and the
+//! autoscaling race, plus the `FIG_FLEET` line the CI smoke check gates
+//! on — while the timed section records router + simulator cost per
+//! route policy so fleet-layer regressions show up in
+//! `BENCH_baseline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_gpu_sim::device::Gpu;
+use zipserv_kernels::shapes::LlmModel;
+use zipserv_serve::cluster::GpuCluster;
+use zipserv_serve::engine::{EngineKind, ServingEngine};
+use zipserv_serve::fleet::{FleetRouter, PowerOfTwoChoices, RoundRobin};
+use zipserv_serve::policy::Priority;
+use zipserv_serve::workload::ArrivalMix;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::fleet());
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::single(Gpu::Rtx4090))
+        .policy(Priority::default())
+        .max_batch(16)
+        .build();
+    let arrivals = ArrivalMix::paper_mix().generate(7.0, 320, 53);
+    let mut group = c.benchmark_group("fig_fleet/4replicas_320reqs");
+    group.sample_size(10);
+    group.bench_function("round_robin", |b| {
+        b.iter(|| {
+            FleetRouter::new(RoundRobin::default())
+                .with_replicas(black_box(&engine), 4)
+                .run(arrivals.clone())
+        });
+    });
+    group.bench_function("power_of_two", |b| {
+        b.iter(|| {
+            FleetRouter::new(PowerOfTwoChoices::default())
+                .with_replicas(black_box(&engine), 4)
+                .run(arrivals.clone())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

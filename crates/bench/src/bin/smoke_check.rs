@@ -42,8 +42,8 @@ fn parse_bench_log(log: &str) -> HashMap<String, f64> {
 
 /// Parses a machine-readable `<PREFIX> k1=<x> k2=<y>` line (the
 /// `FIG_TP_SCALING` line from the fig_tp bench, the `FIG_FAULT` line from
-/// fig_fault, the `FIG_PIPELINE` line from fig_pipeline) into its
-/// key/value pairs.
+/// fig_fault, the `FIG_PIPELINE` line from fig_pipeline, the `FIG_FLEET`
+/// line from fig_fleet) into its key/value pairs.
 fn parse_kv_line(log: &str, prefix: &str) -> HashMap<String, f64> {
     let mut out = HashMap::new();
     for line in log.lines() {
@@ -118,6 +118,7 @@ fn main() -> ExitCode {
     let tp = parse_kv_line(&log, "FIG_TP_SCALING ");
     let fault = parse_kv_line(&log, "FIG_FAULT ");
     let pipeline = parse_kv_line(&log, "FIG_PIPELINE ");
+    let fleet = parse_kv_line(&log, "FIG_FLEET ");
 
     let log_ratio =
         |num: &str, den: &str| -> Option<f64> { Some(means.get(num)? / means.get(den)?) };
@@ -185,6 +186,14 @@ fn main() -> ExitCode {
         ),
         ("fig_pipeline_ttft_p99_gain", "ttft_p99_gain", &pipeline),
         ("fig_pipeline_tput_ratio", "tput_ratio", &pipeline),
+        ("fig_fleet_p2c_ttft_gain", "p2c_ttft_gain", &fleet),
+        ("fig_fleet_p2c_tput_ratio", "p2c_tput_ratio", &fleet),
+        ("fig_fleet_imbalance_ratio", "imbalance_ratio", &fleet),
+        (
+            "fig_fleet_autoscale_tput_ratio",
+            "autoscale_tput_ratio",
+            &fleet,
+        ),
     ] {
         match (source.get(key), baseline_number(&baseline, name)) {
             (Some(&current), Some(baseline)) => checks.push(Check {
@@ -243,7 +252,8 @@ mod tests {
     fn parses_bench_lines_and_scaling() {
         let log = "a/b/c        123.4 ns/iter   55.0 Melem/s\nnot a bench line\n\
                    FIG_TP_SCALING tp2=1.5 tp4=2.0\nFIG_FAULT goodput_ratio=0.8123 availability=0.9511\n\
-                   FIG_PIPELINE min_bubble_gain=1.67 ttft_p99_gain=5.28 tput_ratio=0.99\n";
+                   FIG_PIPELINE min_bubble_gain=1.67 ttft_p99_gain=5.28 tput_ratio=0.99\n\
+                   FIG_FLEET p2c_ttft_gain=1.29 autoscale_tput_ratio=2.91\n";
         let means = parse_bench_log(log);
         assert_eq!(means.get("a/b/c"), Some(&123.4));
         assert_eq!(means.len(), 1);
@@ -256,6 +266,9 @@ mod tests {
         let pipeline = parse_kv_line(log, "FIG_PIPELINE ");
         assert_eq!(pipeline.get("min_bubble_gain"), Some(&1.67));
         assert_eq!(pipeline.get("tput_ratio"), Some(&0.99));
+        let fleet = parse_kv_line(log, "FIG_FLEET ");
+        assert_eq!(fleet.get("p2c_ttft_gain"), Some(&1.29));
+        assert_eq!(fleet.get("autoscale_tput_ratio"), Some(&2.91));
     }
 
     #[test]

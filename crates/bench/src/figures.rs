@@ -1112,6 +1112,109 @@ pub fn pipeline() -> String {
     out
 }
 
+/// Fleet-scale serving: the paper mix routed across four replicas under
+/// every in-tree routing policy, plus an autoscaling race against a
+/// fixed single replica. Prints a machine-readable `FIG_FLEET` line
+/// consumed by the CI smoke gate; the model is deterministic, so the
+/// gates are symmetric like `FIG_TP_SCALING`.
+pub fn fleet() -> String {
+    use zipserv_serve::fleet::{
+        Autoscale, FleetReport, FleetRouter, LeastKvPressure, PowerOfTwoChoices, RoundRobin,
+        RoutePolicy, SessionAffinity,
+    };
+    use zipserv_serve::policy::{Priority, PriorityClass};
+    use zipserv_serve::workload::ArrivalMix;
+
+    let engine = ServingEngine::builder()
+        .kind(EngineKind::ZipServ)
+        .model(LlmModel::Llama31_8b)
+        .cluster(GpuCluster::single(Gpu::Rtx4090))
+        .policy(Priority::default())
+        .max_batch(16)
+        .build();
+    // Near-saturation load: light fleets make every policy look alike
+    // (round-robin's blind interleave is near-optimal when queues never
+    // form); routing only earns its keep once queues exist to avoid.
+    let arrivals = ArrivalMix::paper_mix().generate(7.0, 320, 53);
+    fn race(
+        engine: &ServingEngine,
+        arrivals: &[zipserv_serve::scheduler::Request],
+        policy: impl RoutePolicy + 'static,
+    ) -> FleetReport {
+        FleetRouter::new(policy)
+            .with_replicas(engine, 4)
+            .run(arrivals.to_vec())
+    }
+    let reports = [
+        race(&engine, &arrivals, RoundRobin::default()),
+        race(&engine, &arrivals, LeastKvPressure),
+        race(&engine, &arrivals, SessionAffinity::default()),
+        race(&engine, &arrivals, PowerOfTwoChoices::default()),
+    ];
+    let p99 = |r: &FleetReport| {
+        r.class_ttft_percentile(PriorityClass::Interactive, 0.99)
+            .expect("interactive completions")
+    };
+    let mut rows = Vec::new();
+    for r in &reports {
+        rows.push(vec![
+            r.route_policy.clone(),
+            f2(p99(r)),
+            f2(r.latency_percentile(0.99).expect("completions")),
+            format!("{:.1}", r.throughput_tps()),
+            format!("{:.3}", r.imbalance_ratio()),
+            pct(r.slo_attainment().unwrap_or(1.0)),
+        ]);
+    }
+    let mut out = format!(
+        "Fleet routing — 4x ZipServ replicas (RTX 4090, LLaMA3.1-8B, batch 16), paper mix (7 req/s, 320 reqs):\n{}",
+        render(
+            &[
+                "route policy",
+                "int. TTFT p99",
+                "lat p99",
+                "tput t/s",
+                "imbalance",
+                "SLO",
+            ],
+            &rows
+        )
+    );
+
+    let p2c_ttft_gain = p99(&reports[0]) / p99(&reports[3]);
+    let p2c_tput_ratio = reports[3].throughput_tps() / reports[0].throughput_tps();
+    // Session affinity's sticky hashing is the fleet's worst-balanced
+    // policy: its max-over-mean replica load is the imbalance headline.
+    let imbalance_ratio = reports[2].imbalance_ratio();
+
+    // Autoscaling race: start from one replica and let queue depth grow
+    // the fleet to four, against a fixed single replica on the same trace.
+    let autoscaled = FleetRouter::new(LeastKvPressure)
+        .with_replica(engine.clone())
+        .autoscale(Autoscale {
+            min_replicas: 1,
+            max_replicas: 4,
+            ..Autoscale::default()
+        })
+        .run(arrivals.clone());
+    let fixed = FleetRouter::new(LeastKvPressure)
+        .with_replica(engine.clone())
+        .run(arrivals);
+    let autoscale_tput_ratio = autoscaled.throughput_tps() / fixed.throughput_tps();
+    out.push_str(&format!(
+        "\nAutoscaling (1 -> {} replicas, {} scale events): {:.1} t/s vs fixed single replica {:.1} t/s ({autoscale_tput_ratio:.2}x)\n",
+        autoscaled.per_replica.len(),
+        autoscaled.autoscale_events.len(),
+        autoscaled.throughput_tps(),
+        fixed.throughput_tps(),
+    ));
+    out.push_str(&format!(
+        "FIG_FLEET p2c_ttft_gain={p2c_ttft_gain:.4} p2c_tput_ratio={p2c_tput_ratio:.4} \
+         imbalance_ratio={imbalance_ratio:.4} autoscale_tput_ratio={autoscale_tput_ratio:.4}\n"
+    ));
+    out
+}
+
 /// A named experiment: `(id, generator)`.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -1138,6 +1241,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("sched", sched),
         ("tp", tp_parallel),
         ("pipeline", pipeline),
+        ("fleet", fleet),
         ("fault", fault_recovery),
         ("kv", kv_compression),
         ("prefill", prefill_overlap),
@@ -1186,6 +1290,7 @@ mod tests {
             "fig17",
             "fig18",
             "memory",
+            "fleet",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

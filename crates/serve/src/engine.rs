@@ -24,7 +24,7 @@ use crate::parallel::{
     allreduce_us, block_allreduce_bytes, p2p_us, shard_layer, stage_activation_bytes, PipelineKind,
     PipelineSchedule,
 };
-use crate::policy::{Fcfs, SchedulePolicy};
+use crate::policy::{Fcfs, PriorityClass, SchedulePolicy};
 use crate::scheduler::{run_policy_faulted, Request, ScheduleReport};
 use crate::workload::Workload;
 use zipserv_gpu_sim::device::Gpu;
@@ -153,6 +153,7 @@ pub struct EngineBuilder {
     micro_batches: Option<u32>,
     pipeline_kind: PipelineKind,
     chunked_prefill: Option<bool>,
+    whole_prefill_classes: Vec<PriorityClass>,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
 }
@@ -195,6 +196,7 @@ impl Default for EngineBuilder {
             micro_batches: None,
             pipeline_kind: PipelineKind::GPipe,
             chunked_prefill: None,
+            whole_prefill_classes: Vec::new(),
             fault_plan: FaultPlan::default(),
             retry: RetryPolicy::default(),
         }
@@ -277,6 +279,21 @@ impl EngineBuilder {
     /// semantics — the bit-compat path the fixture suites diff against.
     pub fn chunked_prefill(mut self, enabled: bool) -> Self {
         self.chunked_prefill = Some(enabled);
+        self
+    }
+
+    /// Opts one traffic class out of chunked prefill (chainable; default:
+    /// no class opts out). When streaming admission is active, fresh
+    /// prompts of an opted-out class serialize their whole prefill at
+    /// admission — the legacy semantics — while other classes keep
+    /// chunking. Batch-class traffic has no TTFT SLO to protect, so a
+    /// fleet can run Batch whole-prefill (fewer scheduler rounds) next to
+    /// chunked Interactive on the same replicas. A no-op when chunked
+    /// prefill is off entirely, so the bit-compat paths are untouched.
+    pub fn whole_prefill_for(mut self, class: PriorityClass) -> Self {
+        if !self.whole_prefill_classes.contains(&class) {
+            self.whole_prefill_classes.push(class);
+        }
         self
     }
 
@@ -366,6 +383,7 @@ impl EngineBuilder {
             micro_batches,
             pipeline_kind: self.pipeline_kind,
             chunked_prefill,
+            whole_prefill_classes: self.whole_prefill_classes,
             fault_plan: self.fault_plan,
             retry: self.retry,
             kv_capacity: 0,
@@ -399,6 +417,9 @@ pub struct ServingEngine {
     /// Resolved streaming-admission mode (default `pp >= 2`): chunked
     /// prefill plus live per-rank KV admission in the schedulers.
     chunked_prefill: bool,
+    /// Traffic classes that serialize their whole prefill at admission
+    /// even while streaming admission is active (default none).
+    whole_prefill_classes: Vec<PriorityClass>,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
     /// KV capacity in tokens, derived once at build time (see
@@ -433,6 +454,7 @@ impl Clone for ServingEngine {
             micro_batches: self.micro_batches,
             pipeline_kind: self.pipeline_kind,
             chunked_prefill: self.chunked_prefill,
+            whole_prefill_classes: self.whole_prefill_classes.clone(),
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
             kv_capacity: self.kv_capacity,
@@ -501,6 +523,14 @@ impl ServingEngine {
     /// [`EngineBuilder::chunked_prefill`]).
     pub fn chunked_prefill(&self) -> bool {
         self.chunked_prefill
+    }
+
+    /// Whether fresh prompts of `class` serialize their whole prefill at
+    /// admission even under streaming admission (see
+    /// [`EngineBuilder::whole_prefill_for`]; always effectively true when
+    /// [`ServingEngine::chunked_prefill`] is off).
+    pub fn whole_prefill_for(&self, class: PriorityClass) -> bool {
+        self.whole_prefill_classes.contains(&class)
     }
 
     /// The scheduling policy [`ServingEngine::serve_online`] runs under.

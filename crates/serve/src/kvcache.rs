@@ -427,6 +427,26 @@ impl KvShards {
     pub fn tokens(&self, seq: u64) -> Option<u64> {
         self.shards[self.first_alive()?].tokens(seq)
     }
+
+    /// Per-rank live occupancy in `[0, 1]`: `1 − free_pages / total_pages`
+    /// for alive ranks, `1.0` for invalidated (or zero-capacity) ranks —
+    /// a dead rank admits nothing, so a router reading pressure steers
+    /// away from it. O(ranks): both page counters are O(1) reads off the
+    /// lazy free-list, which is what makes exact least-KV-pressure
+    /// routing affordable per arrival.
+    pub fn pressure(&self) -> Vec<f64> {
+        self.shards
+            .iter()
+            .zip(&self.invalidated)
+            .map(|(s, &dead)| {
+                if dead || s.total_pages() == 0 {
+                    1.0
+                } else {
+                    1.0 - s.free_pages() as f64 / s.total_pages() as f64
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -740,6 +760,29 @@ mod tests {
         assert_eq!(s.append(1, 1), Err(KvError::UnknownSequence));
         assert_eq!(s.fork(1, 2), Err(KvError::UnknownSequence));
         assert_eq!(s.release(1), Err(KvError::UnknownSequence));
+    }
+
+    #[test]
+    fn pressure_tracks_reservations_and_faults() {
+        // Asymmetric ranks: the small rank's occupancy climbs faster, and
+        // the vector is exactly what a least-KV-pressure router reads.
+        let mut s = KvShards::new(vec![cache_with_pages(4), cache_with_pages(8)]);
+        assert_eq!(s.pressure(), vec![0.0, 0.0]);
+        s.register(1);
+        s.append(1, 2 * PAGE_TOKENS).unwrap(); // 2 pages on each rank
+        assert_eq!(s.pressure(), vec![0.5, 0.25]);
+        // Release drops pressure back to idle.
+        s.release(1).unwrap();
+        assert_eq!(s.pressure(), vec![0.0, 0.0]);
+        // A dead rank reads as fully pressured until repaired.
+        s.register(2);
+        s.append(2, PAGE_TOKENS).unwrap();
+        assert!(s.invalidate_rank(0));
+        let p = s.pressure();
+        assert_eq!(p[0], 1.0, "invalidated rank must repel routing");
+        assert!((p[1] - 0.125).abs() < 1e-12);
+        assert!(s.repair_rank(0));
+        assert_eq!(s.pressure()[0], 0.0, "repaired rank rejoins cold");
     }
 
     #[test]

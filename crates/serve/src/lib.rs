@@ -16,6 +16,11 @@
 //!   DFloat11-like decoupled-decompression engine;
 //! * [`scheduler`] — online continuous batching over Poisson arrivals with
 //!   KV-capacity admission control and latency percentiles;
+//! * [`fleet`] — multi-replica serving: a [`fleet::FleetRouter`] drives a
+//!   shared arrival stream across N replica engines with pluggable
+//!   routing policies (round-robin, least-KV-pressure, session affinity,
+//!   power-of-two-choices), fleet-level admission control, and
+//!   queue-depth autoscaling;
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
 //!   bounded retry-with-backoff recovery: rank failure/repair, link
 //!   degradation, KV stalls, and corrupted-frame events consumed mid-run;
@@ -34,6 +39,7 @@ pub mod attention;
 pub mod cluster;
 pub mod engine;
 pub mod fault;
+pub mod fleet;
 pub mod kvcache;
 pub mod memory;
 pub mod metrics;
@@ -46,6 +52,10 @@ pub mod workload;
 pub use cluster::GpuCluster;
 pub use engine::{EngineBuilder, EngineKind, ServingEngine};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RejectReason, Rejection, RetryPolicy};
+pub use fleet::{
+    Autoscale, AutoscaleEvent, FleetReport, FleetRouter, LeastKvPressure, PowerOfTwoChoices,
+    RoundRobin, RoutePolicy, SessionAffinity,
+};
 pub use kvcache::{KvError, KvShards, PagedKvCache};
 pub use metrics::RobustnessStats;
 pub use parallel::{PipelineKind, PipelineSchedule};

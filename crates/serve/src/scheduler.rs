@@ -986,9 +986,12 @@ pub fn run_policy_faulted(
             // as chunks ride the pipeline's micro-batch slots between
             // decode steps. Resumes (page-in, recompute) stay serial — they
             // rebuild KV, they don't stream the prompt through the stages.
+            // Classes opted out via `EngineBuilder::whole_prefill_for` also
+            // stay serial: their prompts take the legacy admission charge
+            // while the rest of the traffic keeps chunking.
             let mut chunks_left = 0u32;
             match stream.as_mut() {
-                Some(s) if q.resume_generated == 0 => {
+                Some(s) if q.resume_generated == 0 && !engine.whole_prefill_for(q.req.priority) => {
                     chunks_left = s.n_chunks;
                     s.chunk_cost.insert(q.req.id, cost / f64::from(s.n_chunks));
                 }

@@ -48,6 +48,10 @@ pub mod prelude {
     pub use crate::serve::fault::{
         FaultEvent, FaultKind, FaultPlan, RejectReason, Rejection, RetryPolicy,
     };
+    pub use crate::serve::fleet::{
+        Autoscale, AutoscaleEvent, FleetReport, FleetRouter, LeastKvPressure, PowerOfTwoChoices,
+        RoundRobin, RoutePolicy, SessionAffinity,
+    };
     pub use crate::serve::metrics::RobustnessStats;
     pub use crate::serve::policy::{
         Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,
