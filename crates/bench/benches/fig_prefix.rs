@@ -1,0 +1,51 @@
+//! Prefix-caching race: one ZipServ replica serving the multi-tenant
+//! mix with the shared-prefix registry off vs on.
+//!
+//! The printed `figures::prefix()` tables record the modeled outcomes —
+//! hit rate, prefill-FLOPs saved, the interactive TTFT comparison, and
+//! the session-affinity fleet compounding, plus the `FIG_PREFIX` line
+//! the CI smoke check gates on — while the timed section records
+//! scheduler + registry cost per caching mode so prefix-layer
+//! regressions show up in `BENCH_baseline.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zipserv_bench::figures;
+use zipserv_gpu_sim::device::Gpu;
+use zipserv_kernels::shapes::LlmModel;
+use zipserv_serve::cluster::GpuCluster;
+use zipserv_serve::engine::{EngineKind, ServingEngine};
+use zipserv_serve::policy::Priority;
+use zipserv_serve::workload::ArrivalMix;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::prefix());
+    let build = |caching: bool| {
+        ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::single(Gpu::Rtx4090))
+            .policy(Priority::default())
+            .max_batch(16)
+            .prefix_caching(caching)
+            .build()
+    };
+    let uncached = build(false);
+    let cached = build(true);
+    let arrivals = ArrivalMix::multi_tenant_mix().generate(7.0, 320, 53);
+    let mut group = c.benchmark_group("fig_prefix/1replica_320reqs");
+    group.sample_size(10);
+    group.bench_function("caching_off", |b| {
+        b.iter(|| black_box(&uncached).serve_online(arrivals.clone()));
+    });
+    group.bench_function("caching_on", |b| {
+        b.iter(|| black_box(&cached).serve_online(arrivals.clone()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -43,7 +43,8 @@ fn parse_bench_log(log: &str) -> HashMap<String, f64> {
 /// Parses a machine-readable `<PREFIX> k1=<x> k2=<y>` line (the
 /// `FIG_TP_SCALING` line from the fig_tp bench, the `FIG_FAULT` line from
 /// fig_fault, the `FIG_PIPELINE` line from fig_pipeline, the `FIG_FLEET`
-/// line from fig_fleet) into its key/value pairs.
+/// line from fig_fleet, the `FIG_PREFIX` line from fig_prefix) into its
+/// key/value pairs.
 fn parse_kv_line(log: &str, prefix: &str) -> HashMap<String, f64> {
     let mut out = HashMap::new();
     for line in log.lines() {
@@ -119,6 +120,7 @@ fn main() -> ExitCode {
     let fault = parse_kv_line(&log, "FIG_FAULT ");
     let pipeline = parse_kv_line(&log, "FIG_PIPELINE ");
     let fleet = parse_kv_line(&log, "FIG_FLEET ");
+    let prefix = parse_kv_line(&log, "FIG_PREFIX ");
 
     let log_ratio =
         |num: &str, den: &str| -> Option<f64> { Some(means.get(num)? / means.get(den)?) };
@@ -194,6 +196,8 @@ fn main() -> ExitCode {
             "autoscale_tput_ratio",
             &fleet,
         ),
+        ("fig_prefix_flops_saved", "flops_saved", &prefix),
+        ("fig_prefix_ttft_gain", "ttft_gain", &prefix),
     ] {
         match (source.get(key), baseline_number(&baseline, name)) {
             (Some(&current), Some(baseline)) => checks.push(Check {
@@ -253,7 +257,8 @@ mod tests {
         let log = "a/b/c        123.4 ns/iter   55.0 Melem/s\nnot a bench line\n\
                    FIG_TP_SCALING tp2=1.5 tp4=2.0\nFIG_FAULT goodput_ratio=0.8123 availability=0.9511\n\
                    FIG_PIPELINE min_bubble_gain=1.67 ttft_p99_gain=5.28 tput_ratio=0.99\n\
-                   FIG_FLEET p2c_ttft_gain=1.29 autoscale_tput_ratio=2.91\n";
+                   FIG_FLEET p2c_ttft_gain=1.29 autoscale_tput_ratio=2.91\n\
+                   FIG_PREFIX flops_saved=0.68 ttft_gain=32.26\n";
         let means = parse_bench_log(log);
         assert_eq!(means.get("a/b/c"), Some(&123.4));
         assert_eq!(means.len(), 1);
@@ -269,6 +274,9 @@ mod tests {
         let fleet = parse_kv_line(log, "FIG_FLEET ");
         assert_eq!(fleet.get("p2c_ttft_gain"), Some(&1.29));
         assert_eq!(fleet.get("autoscale_tput_ratio"), Some(&2.91));
+        let prefix = parse_kv_line(log, "FIG_PREFIX ");
+        assert_eq!(prefix.get("flops_saved"), Some(&0.68));
+        assert_eq!(prefix.get("ttft_gain"), Some(&32.26));
     }
 
     #[test]

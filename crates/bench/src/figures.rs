@@ -1215,6 +1215,116 @@ pub fn fleet() -> String {
     out
 }
 
+/// Prefix caching on the multi-tenant mix: the same single-replica
+/// deployment and arrival stream raced with the shared-prefix registry
+/// off (the legacy bit-compat path) and on, then the four-replica
+/// session-affinity fleet where sticky tenants keep their prefixes hot
+/// per replica. Prints a machine-readable `FIG_PREFIX` line consumed by
+/// the CI smoke gate; the model is deterministic, so the gates are
+/// symmetric like `FIG_FLEET`.
+pub fn prefix() -> String {
+    use zipserv_serve::fleet::{FleetRouter, SessionAffinity};
+    use zipserv_serve::policy::{Priority, PriorityClass};
+    use zipserv_serve::scheduler::run_policy;
+    use zipserv_serve::workload::ArrivalMix;
+
+    let build = |caching: bool| {
+        ServingEngine::builder()
+            .kind(EngineKind::ZipServ)
+            .model(LlmModel::Llama31_8b)
+            .cluster(GpuCluster::single(Gpu::Rtx4090))
+            .policy(Priority::default())
+            .max_batch(16)
+            .prefix_caching(caching)
+            .build()
+    };
+    // The multi-tenant companion of the paper mix: tenant chat with
+    // shared system prompts and follow-ups, templated API traffic, and
+    // parallel sampling — every shape the registry can hit on.
+    let arrivals = ArrivalMix::multi_tenant_mix().generate(7.0, 320, 53);
+    let prompt_tokens: u64 = arrivals.iter().map(|r| r.prompt_len).sum();
+
+    let interactive_ttfts = |r: &zipserv_serve::scheduler::ScheduleReport| -> Vec<f64> {
+        let mut v: Vec<f64> = r
+            .completions
+            .iter()
+            .filter(|c| c.priority == PriorityClass::Interactive)
+            .map(|c| c.ttft_s)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFT"));
+        v
+    };
+    let quantile = |sorted: &[f64], q: f64| -> f64 {
+        let idx = ((sorted.len() as f64) * q).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    };
+
+    let baseline = run_policy(&build(false), &Priority::default(), 16, arrivals.clone());
+    let cached = run_policy(&build(true), &Priority::default(), 16, arrivals.clone());
+    let mut rows = Vec::new();
+    let mut p99 = [0.0f64; 2];
+    for (i, (label, r)) in [("caching off", &baseline), ("caching on", &cached)]
+        .iter()
+        .enumerate()
+    {
+        let ttfts = interactive_ttfts(r);
+        p99[i] = quantile(&ttfts, 0.99);
+        rows.push(vec![
+            label.to_string(),
+            pct(r.prefix.hit_rate()),
+            r.prefix.tokens_saved.to_string(),
+            pct(r.prefix.tokens_saved as f64 / prompt_tokens as f64),
+            f2(quantile(&ttfts, 0.5)),
+            f2(p99[i]),
+            format!("{:.1}", r.throughput_tps),
+        ]);
+    }
+    let flops_saved = cached.prefix.tokens_saved as f64 / prompt_tokens as f64;
+    let ttft_gain = p99[0] / p99[1];
+    let hit_rate = cached.prefix.hit_rate();
+    let tput_ratio = cached.throughput_tps / baseline.throughput_tps;
+    let mut out = format!(
+        "Prefix caching — ZipServ (RTX 4090, LLaMA3.1-8B, batch 16), multi-tenant mix (7 req/s, 320 reqs), priority policy:\n{}",
+        render(
+            &[
+                "prefix cache",
+                "hit rate",
+                "tokens saved",
+                "FLOPs saved",
+                "int. TTFT p50",
+                "int. TTFT p99",
+                "tput t/s",
+            ],
+            &rows
+        )
+    );
+
+    // Fleet compounding: session-affinity routing keeps each tenant on
+    // one replica, so per-replica registries see the same hit stream a
+    // single box would — the per-replica stats fold into FleetReport.
+    let fleet = |caching: bool| {
+        FleetRouter::new(SessionAffinity::default())
+            .with_replicas(&build(caching), 4)
+            .run(arrivals.clone())
+    };
+    let fleet_off = fleet(false);
+    let fleet_on = fleet(true);
+    let fleet_stats = fleet_on.prefix();
+    out.push_str(&format!(
+        "\nSession-affinity fleet (4 replicas): hit rate {}, {} tokens saved ({} of prefill), tput {:.1} vs {:.1} t/s uncached\n",
+        pct(fleet_stats.hit_rate()),
+        fleet_stats.tokens_saved,
+        pct(fleet_stats.tokens_saved as f64 / prompt_tokens as f64),
+        fleet_on.throughput_tps(),
+        fleet_off.throughput_tps(),
+    ));
+    out.push_str(&format!(
+        "FIG_PREFIX flops_saved={flops_saved:.4} ttft_gain={ttft_gain:.4} \
+         hit_rate={hit_rate:.4} tput_ratio={tput_ratio:.4}\n"
+    ));
+    out
+}
+
 /// A named experiment: `(id, generator)`.
 pub type Experiment = (&'static str, fn() -> String);
 
@@ -1242,6 +1352,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("tp", tp_parallel),
         ("pipeline", pipeline),
         ("fleet", fleet),
+        ("prefix", prefix),
         ("fault", fault_recovery),
         ("kv", kv_compression),
         ("prefill", prefill_overlap),
@@ -1291,6 +1402,7 @@ mod tests {
             "fig18",
             "memory",
             "fleet",
+            "prefix",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

@@ -154,6 +154,7 @@ pub struct EngineBuilder {
     pipeline_kind: PipelineKind,
     chunked_prefill: Option<bool>,
     whole_prefill_classes: Vec<PriorityClass>,
+    prefix_caching: bool,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
 }
@@ -197,6 +198,7 @@ impl Default for EngineBuilder {
             pipeline_kind: PipelineKind::GPipe,
             chunked_prefill: None,
             whole_prefill_classes: Vec::new(),
+            prefix_caching: false,
             fault_plan: FaultPlan::default(),
             retry: RetryPolicy::default(),
         }
@@ -297,6 +299,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables prefix caching (default off): admission consults a
+    /// [`PrefixRegistry`](crate::kvcache::PrefixRegistry) that interns
+    /// shared-prefix hashes, forks the cached pages CoW-style on a hit,
+    /// and charges prefill for the suffix tokens only. The victim axis on
+    /// eviction is chosen by the scheduling policy (see
+    /// [`SchedulePolicy::prefix_victim`]). Off is the bit-compat path: no
+    /// registry is built and the schedulers run exactly the legacy
+    /// admission sequence, pinned by the prefix-caching suite.
+    pub fn prefix_caching(mut self, enabled: bool) -> Self {
+        self.prefix_caching = enabled;
+        self
+    }
+
     /// Sets the online scheduling policy (default [`Fcfs`]).
     pub fn policy(mut self, policy: impl SchedulePolicy + 'static) -> Self {
         self.policy = Box::new(policy);
@@ -384,6 +399,7 @@ impl EngineBuilder {
             pipeline_kind: self.pipeline_kind,
             chunked_prefill,
             whole_prefill_classes: self.whole_prefill_classes,
+            prefix_caching: self.prefix_caching,
             fault_plan: self.fault_plan,
             retry: self.retry,
             kv_capacity: 0,
@@ -420,6 +436,9 @@ pub struct ServingEngine {
     /// Traffic classes that serialize their whole prefill at admission
     /// even while streaming admission is active (default none).
     whole_prefill_classes: Vec<PriorityClass>,
+    /// Whether admission consults a shared-prefix registry (default off —
+    /// the bit-compat legacy path).
+    prefix_caching: bool,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
     /// KV capacity in tokens, derived once at build time (see
@@ -455,6 +474,7 @@ impl Clone for ServingEngine {
             pipeline_kind: self.pipeline_kind,
             chunked_prefill: self.chunked_prefill,
             whole_prefill_classes: self.whole_prefill_classes.clone(),
+            prefix_caching: self.prefix_caching,
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
             kv_capacity: self.kv_capacity,
@@ -531,6 +551,12 @@ impl ServingEngine {
     /// [`ServingEngine::chunked_prefill`] is off).
     pub fn whole_prefill_for(&self, class: PriorityClass) -> bool {
         self.whole_prefill_classes.contains(&class)
+    }
+
+    /// Whether the schedulers consult a shared-prefix registry at
+    /// admission (see [`EngineBuilder::prefix_caching`]; default off).
+    pub fn prefix_caching(&self) -> bool {
+        self.prefix_caching
     }
 
     /// The scheduling policy [`ServingEngine::serve_online`] runs under.
@@ -859,6 +885,24 @@ impl ServingEngine {
         let decomp_ms = decomp_us / 1e3;
         self.pipelined_prefill_ms((us - decomp_us + allreduce) / 1e3, decomp_ms, tokens)
             + self.kind.other_ms(dims.layers)
+    }
+
+    /// The serial admission charge one fresh prompt of `class` adds to a
+    /// replica's clock under this deployment's resolved admission mode:
+    /// the whole [`ServingEngine::prefill_ms`] on the legacy path, but
+    /// only one chunk's share (`1 / pp`) when streaming admission chunks
+    /// the prefill — the remaining chunks ride micro-batch slots between
+    /// decode steps instead of serializing ahead of later requests. The
+    /// fleet's slot virtual clock prices in-flight depth with this
+    /// estimate; using the whole-prefill figure for chunked replicas
+    /// overestimated their depth and skewed load-aware routing.
+    pub fn admission_prefill_ms(&self, prompt_len: u64, class: PriorityClass) -> f64 {
+        let whole = self.prefill_ms(1, prompt_len);
+        if self.chunked_prefill && !self.whole_prefill_for(class) {
+            whole / f64::from(self.cluster.pp().max(1))
+        } else {
+            whole
+        }
     }
 
     /// Applies the pipeline schedule to a serial prefill core: identity at

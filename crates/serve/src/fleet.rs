@@ -35,7 +35,7 @@
 
 use crate::engine::ServingEngine;
 use crate::fault::{FaultKind, RejectReason, Rejection};
-use crate::kvcache::KvShards;
+use crate::kvcache::{KvShards, PrefixStats};
 use crate::metrics;
 use crate::parallel::PipelineKind;
 use crate::policy::PriorityClass;
@@ -182,12 +182,17 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Sticky per-tenant hashing: requests from the same tenant (request id
-/// modulo `tenants`) always land on the same active replica, preserving
-/// session locality (KV reuse, prefix caches) at the cost of balance.
+/// Sticky per-tenant hashing: requests from the same tenant always land
+/// on the same active replica, preserving session locality (KV reuse,
+/// prefix caches) at the cost of balance. Requests carrying a real
+/// [`Request::tenant`] id are keyed on it — the pairing that makes
+/// prefix caching compound with routing, since a tenant's shared-prefix
+/// pages stay hot on one replica — while tenant-less legacy traffic
+/// falls back to folding the request id modulo `tenants`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionAffinity {
-    /// Number of distinct tenants the id space is folded into.
+    /// Number of distinct tenants the id space of *tenant-less* requests
+    /// is folded into (the fallback key).
     pub tenants: u64,
 }
 
@@ -207,7 +212,7 @@ impl RoutePolicy for SessionAffinity {
         if active.is_empty() {
             return 0;
         }
-        let tenant = req.id % self.tenants.max(1);
+        let tenant = req.tenant.unwrap_or(req.id % self.tenants.max(1));
         let slot = splitmix64(tenant) as usize % active.len();
         active[slot]
     }
@@ -415,7 +420,15 @@ impl Replica {
             // track the request by time alone.
             let _ = self.shards.release(req.id);
         }
-        let service_s = self.engine.prefill_ms(1, req.prompt_len.max(1)) / 1000.0
+        // Price the slot's clock with the *admission-path* prefill
+        // estimate: a chunked-prefill replica (default at pp >= 2) only
+        // serializes one chunk of the prompt at admission, so charging
+        // the whole prefill here overestimated in-flight depth and
+        // skewed load-aware routing against pipelined replicas.
+        let service_s = self
+            .engine
+            .admission_prefill_ms(req.prompt_len.max(1), req.priority)
+            / 1000.0
             + req.output_len as f64 * self.step_s;
         let mut slot = 0usize;
         for (i, &free_at) in self.slots.iter().enumerate() {
@@ -707,6 +720,17 @@ impl FleetReport {
         self.per_replica.iter().map(|r| r.completions.len()).sum()
     }
 
+    /// Fleet-wide prefix-cache counters: every replica's
+    /// [`ScheduleReport::prefix`] stats merged (all-zero when prefix
+    /// caching is off everywhere).
+    pub fn prefix(&self) -> PrefixStats {
+        let mut total = PrefixStats::default();
+        for r in &self.per_replica {
+            total.merge(&r.prefix);
+        }
+        total
+    }
+
     /// Total rejections: router-level plus every replica's own.
     pub fn rejected(&self) -> usize {
         self.rejections.len()
@@ -853,6 +877,30 @@ mod tests {
         for id in [5u64, 9, 13, 101] {
             assert_eq!(sa.route(&Request::new(id, 0.0, 8, 8), &snaps), first);
         }
+    }
+
+    #[test]
+    fn session_affinity_keys_on_the_real_tenant_id() {
+        let mut sa = SessionAffinity { tenants: 4 };
+        let snaps = vec![snap(0.0, 0, false); 3];
+        // Tagged requests stick by tenant regardless of their ids...
+        let first = sa.route(&Request::new(0, 0.0, 8, 8).with_tenant(42), &snaps);
+        for id in [3u64, 7, 20, 55] {
+            assert_eq!(
+                sa.route(&Request::new(id, 0.0, 8, 8).with_tenant(42), &snaps),
+                first,
+                "tenant 42 moved replicas at id {id}"
+            );
+        }
+        // ...and the tag overrides the modulo fold: an id that folds to
+        // the same bucket as a tagged sibling can still route elsewhere.
+        let tenants: Vec<usize> = (0..16)
+            .map(|t| sa.route(&Request::new(0, 0.0, 8, 8).with_tenant(t), &snaps))
+            .collect();
+        assert!(
+            tenants.iter().any(|&r| r != tenants[0]),
+            "all 16 tenants landed on one replica"
+        );
     }
 
     #[test]

@@ -449,6 +449,266 @@ impl KvShards {
     }
 }
 
+/// Which cached entry a [`PrefixRegistry`] evicts when the cache is full —
+/// the eviction axis a [`SchedulePolicy`](crate::policy::SchedulePolicy)
+/// answers through `prefix_victim`, the first scheduling decision that
+/// reaches into page reclamation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefixVictim {
+    /// Evict the least-recently-used *cold* prefix — one no live request
+    /// currently forks from. If every cached prefix is pinned by a live
+    /// fork, the miss gives up on caching rather than disturb active work.
+    #[default]
+    ColdPrefix,
+    /// Evict the least-recently-used prefix even if live requests fork
+    /// from it: copy-on-write refcounts keep the forked children's pages
+    /// alive, only the shared cache copy is dropped, so future arrivals
+    /// re-prefill while in-flight ones are untouched.
+    ActiveSequence,
+}
+
+/// Prefix-cache counters carried on a
+/// [`ScheduleReport`](crate::scheduler::ScheduleReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixStats {
+    /// Admissions that consulted the registry with a nonzero prefix.
+    pub lookups: u64,
+    /// Lookups that forked a cached prefix instead of re-prefilling it.
+    pub hits: u64,
+    /// Lookups that found nothing cached (the prefix is inserted so the
+    /// *next* request hits).
+    pub misses: u64,
+    /// Cached prefixes evicted to make room for new ones.
+    pub evictions: u64,
+    /// Prompt tokens whose prefill was skipped by forking a cached prefix
+    /// — directly proportional to prefill FLOPs saved.
+    pub tokens_saved: u64,
+    /// KV pages shared copy-on-write between cached prefixes and forked
+    /// requests.
+    pub pages_shared: u64,
+}
+
+impl PrefixStats {
+    /// Fraction of lookups that hit; `0.0` when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Field-wise accumulate (fleet-level aggregation across replicas).
+    pub fn merge(&mut self, other: &PrefixStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.tokens_saved += other.tokens_saved;
+        self.pages_shared += other.pages_shared;
+    }
+}
+
+/// A cached prefix: the registry-owned sequence holding its KV, how many
+/// tokens of it are materialized, how many live requests fork from it,
+/// and when it was last touched (LRU clock).
+#[derive(Debug, Clone)]
+struct PrefixEntry {
+    seq: u64,
+    tokens: u64,
+    refs: u32,
+    last_use: u64,
+}
+
+/// A live request's fork of a cached prefix, so release can drop the
+/// child sequence and un-pin the entry.
+#[derive(Debug, Clone, Copy)]
+struct ChildFork {
+    hash: u64,
+    seq: u64,
+    saved: u64,
+}
+
+/// Interns prefix hashes → cached sequences on a private [`KvShards`]
+/// overlay, forking on hit so repeated prompts skip their shared-prefix
+/// prefill.
+///
+/// The registry owns its *own* shards clone (the engine's pristine
+/// proto): cached prefixes and their copy-on-write forks live in this
+/// overlay, modeling the KV the cache holds resident, while the
+/// scheduler's request-side reservation books are untouched — which is
+/// what keeps prefix-caching-off runs bit-identical to the legacy
+/// scheduler. Sequence ids are namespaced away from request ids: cache
+/// copies count up from `1 << 63`, forked children are `(1 << 62) | req`.
+#[derive(Debug)]
+pub struct PrefixRegistry {
+    shards: KvShards,
+    victim: PrefixVictim,
+    entries: HashMap<u64, PrefixEntry>,
+    children: HashMap<u64, ChildFork>,
+    clock: u64,
+    next_seq: u64,
+    stats: PrefixStats,
+}
+
+impl PrefixRegistry {
+    /// A registry over a pristine shards clone, evicting per `victim`.
+    pub fn new(shards: KvShards, victim: PrefixVictim) -> Self {
+        PrefixRegistry {
+            shards,
+            victim,
+            entries: HashMap::new(),
+            children: HashMap::new(),
+            clock: 0,
+            next_seq: 1 << 63,
+            stats: PrefixStats::default(),
+        }
+    }
+
+    /// Consult the cache for request `req` declaring `prefix_len` shared
+    /// tokens under `hash` out of a `prompt_len`-token prompt. Returns the
+    /// prompt tokens whose prefill is skipped (0 on miss or for
+    /// prefix-less requests).
+    ///
+    /// On a hit the cached sequence is forked copy-on-write for the
+    /// request (released again via [`PrefixRegistry::release`]); when the
+    /// request's prefix extends past the cached tokens the entry grows
+    /// best-effort so a conversation's context accumulates turn over
+    /// turn. On a miss the prefix is materialized (evicting per the
+    /// victim policy if needed) so future requests hit; the missing
+    /// request itself prefills in full through the normal path.
+    pub fn admit(&mut self, req: u64, hash: u64, prefix_len: u64, prompt_len: u64) -> u64 {
+        if prefix_len == 0 {
+            return 0;
+        }
+        let prefix_len = prefix_len.min(prompt_len);
+        self.clock += 1;
+        self.stats.lookups += 1;
+        // Re-admission after preemption or retry: the fork already exists;
+        // count the hit again (the tokens are still skipped) but do not
+        // re-fork or re-count shared pages.
+        if let Some(child) = self.children.get(&req).copied() {
+            if child.hash == hash {
+                if let Some(e) = self.entries.get_mut(&hash) {
+                    e.last_use = self.clock;
+                }
+                self.stats.hits += 1;
+                self.stats.tokens_saved += child.saved;
+                return child.saved;
+            }
+            self.release(req);
+            self.clock += 1;
+        }
+        if let Some(e) = self.entries.get_mut(&hash) {
+            let saved = e.tokens.min(prefix_len);
+            let child_seq = (1 << 62) | req;
+            if self.shards.fork(e.seq, child_seq).is_ok() {
+                e.refs += 1;
+                e.last_use = self.clock;
+                let cached = e.tokens;
+                let cache_seq = e.seq;
+                self.stats.hits += 1;
+                self.stats.tokens_saved += saved;
+                self.stats.pages_shared += saved.div_ceil(PAGE_TOKENS);
+                self.children.insert(
+                    req,
+                    ChildFork {
+                        hash,
+                        seq: child_seq,
+                        saved,
+                    },
+                );
+                // A follow-up carrying more context than the cache holds
+                // extends the entry so the *next* turn hits in full.
+                if prefix_len > cached && self.shards.append(cache_seq, prefix_len - cached).is_ok()
+                {
+                    if let Some(e) = self.entries.get_mut(&hash) {
+                        e.tokens = prefix_len;
+                    }
+                }
+                return saved;
+            }
+            self.stats.misses += 1;
+            return 0;
+        }
+        // Miss: materialize the prefix for future requests.
+        self.stats.misses += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.shards.register(seq);
+        while self.shards.append(seq, prefix_len).is_err() {
+            if !self.evict_one(hash) {
+                let _ = self.shards.release(seq);
+                return 0;
+            }
+        }
+        self.entries.insert(
+            hash,
+            PrefixEntry {
+                seq,
+                tokens: prefix_len,
+                refs: 0,
+                last_use: self.clock,
+            },
+        );
+        0
+    }
+
+    /// Drop `req`'s fork (if any) and un-pin its cached entry. Idempotent:
+    /// calling it for a request that never hit is a no-op, so the
+    /// scheduler may release at every terminal event (completion,
+    /// rejection, retries exhausted).
+    pub fn release(&mut self, req: u64) {
+        if let Some(child) = self.children.remove(&req) {
+            let _ = self.shards.release(child.seq);
+            if let Some(e) = self.entries.get_mut(&child.hash) {
+                e.refs = e.refs.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Evict one entry per the victim policy, skipping `protect`.
+    /// Returns `false` when nothing is evictable.
+    fn evict_one(&mut self, protect: u64) -> bool {
+        let candidate = self
+            .entries
+            .iter()
+            .filter(|(&h, e)| {
+                h != protect && (self.victim == PrefixVictim::ActiveSequence || e.refs == 0)
+            })
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(&h, _)| h);
+        let Some(hash) = candidate else {
+            return false;
+        };
+        if let Some(e) = self.entries.remove(&hash) {
+            let _ = self.shards.release(e.seq);
+            self.stats.evictions += 1;
+        }
+        true
+    }
+
+    /// Mirror a rank failure into the registry's overlay shards.
+    pub fn invalidate_rank(&mut self, idx: usize) -> bool {
+        self.shards.invalidate_rank(idx)
+    }
+
+    /// Mirror a rank repair into the registry's overlay shards.
+    pub fn repair_rank(&mut self, idx: usize) -> bool {
+        self.shards.repair_rank(idx)
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> PrefixStats {
+        self.stats
+    }
+
+    /// Read-only view of the overlay shards (leak tests).
+    pub fn shards(&self) -> &KvShards {
+        &self.shards
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -783,6 +1043,143 @@ mod tests {
         assert!((p[1] - 0.125).abs() < 1e-12);
         assert!(s.repair_rank(0));
         assert_eq!(s.pressure()[0], 0.0, "repaired rank rejoins cold");
+    }
+
+    fn registry(pages: u64, victim: PrefixVictim) -> PrefixRegistry {
+        PrefixRegistry::new(KvShards::new(vec![cache_with_pages(pages)]), victim)
+    }
+
+    #[test]
+    fn registry_miss_then_hit_forks_and_counts() {
+        let mut r = registry(8, PrefixVictim::ColdPrefix);
+        // First sight of a prefix: a miss that materializes it.
+        assert_eq!(r.admit(1, 0xAA, 32, 64), 0);
+        let s = r.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (1, 0, 1));
+        // Second request with the same hash forks and skips 32 tokens.
+        assert_eq!(r.admit(2, 0xAA, 32, 64), 32);
+        let s = r.stats();
+        assert_eq!((s.lookups, s.hits, s.tokens_saved), (2, 1, 32));
+        assert_eq!(s.pages_shared, 2);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+        // The fork is copy-on-write: no extra pages were allocated.
+        assert_eq!(r.shards().rank(0).free_pages(), 6);
+        // Release un-pins the entry and frees nothing (pages stay cached).
+        r.release(2);
+        assert_eq!(r.shards().rank(0).free_pages(), 6);
+        // A prefix-less request never touches the registry.
+        assert_eq!(r.admit(3, 0, 0, 64), 0);
+        assert_eq!(r.stats().lookups, 2);
+    }
+
+    #[test]
+    fn registry_readmission_does_not_refork() {
+        let mut r = registry(8, PrefixVictim::ColdPrefix);
+        r.admit(1, 0xAA, 32, 64);
+        assert_eq!(r.admit(2, 0xAA, 32, 64), 32);
+        let pages = r.shards().rank(0).free_pages();
+        // The same request re-admitted (preemption-recompute path) keeps
+        // its existing fork: saved tokens count again, pages do not.
+        assert_eq!(r.admit(2, 0xAA, 32, 64), 32);
+        assert_eq!(r.shards().rank(0).free_pages(), pages);
+        let s = r.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.pages_shared, 2, "re-admission must not re-count pages");
+        r.release(2);
+        r.release(2); // idempotent
+    }
+
+    #[test]
+    fn registry_grows_entry_for_longer_followups() {
+        let mut r = registry(8, PrefixVictim::ColdPrefix);
+        r.admit(1, 0xAA, 16, 64);
+        // A follow-up carrying 48 tokens of the same session hits on the
+        // cached 16 and extends the entry to 48.
+        assert_eq!(r.admit(2, 0xAA, 48, 64), 16);
+        r.release(2);
+        // The next turn hits on the grown entry.
+        assert_eq!(r.admit(3, 0xAA, 48, 64), 48);
+    }
+
+    #[test]
+    fn cold_prefix_eviction_spares_pinned_entries() {
+        // 4 pages: two 2-page prefixes fill the cache.
+        let mut r = registry(4, PrefixVictim::ColdPrefix);
+        r.admit(1, 0xA, 32, 64);
+        r.admit(2, 0xB, 32, 64);
+        // Pin 0xA with a live fork; 0xB stays cold.
+        assert_eq!(r.admit(3, 0xA, 32, 64), 32);
+        // A new prefix evicts the cold LRU entry (0xB), not the pinned one.
+        r.admit(4, 0xC, 32, 64);
+        assert_eq!(r.stats().evictions, 1);
+        assert_eq!(r.admit(5, 0xA, 32, 64), 32, "pinned entry survived");
+        r.release(3);
+        r.release(5);
+    }
+
+    #[test]
+    fn cold_prefix_gives_up_when_everything_is_pinned() {
+        let mut r = registry(4, PrefixVictim::ColdPrefix);
+        r.admit(1, 0xA, 32, 64);
+        r.admit(2, 0xB, 32, 64);
+        r.admit(3, 0xA, 32, 64);
+        r.admit(4, 0xB, 32, 64);
+        // Both entries pinned: the new prefix cannot be cached, the
+        // request just prefills in full (0 saved), nothing is evicted.
+        assert_eq!(r.admit(5, 0xC, 32, 64), 0);
+        assert_eq!(r.stats().evictions, 0);
+        assert_eq!(r.admit(6, 0xA, 32, 64), 32, "pinned entries intact");
+    }
+
+    #[test]
+    fn active_sequence_eviction_keeps_forked_children_alive() {
+        let mut r = registry(4, PrefixVictim::ActiveSequence);
+        r.admit(1, 0xA, 32, 64);
+        r.admit(2, 0xB, 32, 64);
+        // Pin 0xA with a live fork. ActiveSequence evicts the LRU entry
+        // even when it is pinned — 0xA was just touched by the hit, so LRU
+        // is 0xB here; force the interesting case by touching 0xB last so
+        // pinned 0xA becomes the LRU victim.
+        assert_eq!(r.admit(3, 0xA, 32, 64), 32);
+        assert_eq!(r.admit(4, 0xB, 32, 64), 32);
+        r.release(4);
+        // Evicting pinned 0xA frees nothing (its pages are CoW-shared with
+        // the live fork), so cold 0xB goes too before the append fits.
+        r.admit(5, 0xC, 32, 64);
+        assert_eq!(r.stats().evictions, 2, "pinned LRU entry was evicted");
+        // The live fork of 0xA still holds its pages copy-on-write.
+        assert_eq!(r.shards().tokens((1 << 62) | 3), Some(32));
+        // 0xA itself is gone: the next request misses and re-caches.
+        assert_eq!(r.admit(6, 0xA, 32, 64), 0);
+        r.release(3);
+    }
+
+    #[test]
+    fn registry_survives_rank_failure_without_leaks() {
+        // Chaos unit: cached prefix + live forks across an
+        // invalidate/repair cycle must not leak pages on any rank.
+        let mut r = PrefixRegistry::new(
+            KvShards::new(vec![cache_with_pages(8), cache_with_pages(8)]),
+            PrefixVictim::ColdPrefix,
+        );
+        r.admit(1, 0xA, 32, 64);
+        assert_eq!(r.admit(2, 0xA, 32, 64), 32);
+        assert!(r.invalidate_rank(1));
+        // Release of a fork admitted before the failure must not error or
+        // leak on the survivor.
+        r.release(2);
+        // Hits keep working on the survivor while rank 1 is dark.
+        assert_eq!(r.admit(3, 0xA, 32, 64), 32);
+        assert!(r.repair_rank(1));
+        // The repaired rank rejoined cold: the cached sequence exists with
+        // zero tokens there, and releases stay balanced.
+        r.release(3);
+        assert_eq!(r.shards().rank(1).free_pages(), 8, "no pages leaked");
+        // Post-repair forks allocate nothing on the cold rank either.
+        assert_eq!(r.admit(4, 0xA, 32, 64), 32);
+        r.release(4);
+        assert_eq!(r.shards().rank(0).free_pages(), 6, "only the cache copy");
+        assert_eq!(r.shards().rank(1).free_pages(), 8);
     }
 
     #[test]

@@ -56,11 +56,11 @@ pub use fleet::{
     Autoscale, AutoscaleEvent, FleetReport, FleetRouter, LeastKvPressure, PowerOfTwoChoices,
     RoundRobin, RoutePolicy, SessionAffinity,
 };
-pub use kvcache::{KvError, KvShards, PagedKvCache};
+pub use kvcache::{KvError, KvShards, PagedKvCache, PrefixRegistry, PrefixStats, PrefixVictim};
 pub use metrics::RobustnessStats;
 pub use parallel::{PipelineKind, PipelineSchedule};
 pub use policy::{
     Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,
 };
 pub use scheduler::{Request, ScheduleReport};
-pub use workload::{ArrivalMix, TrafficClass, Workload};
+pub use workload::{ArrivalMix, Trace, TraceError, TrafficClass, Workload};

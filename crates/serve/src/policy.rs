@@ -15,6 +15,7 @@
 //! * [`PreemptiveSjf`] — shortest-remaining-output-first with KV-cache-aware
 //!   preemption (recompute or page out the victim's KV pages).
 
+use crate::kvcache::PrefixVictim;
 use crate::scheduler::Request;
 
 /// A request may be preempted at most this many times; past the cap it is
@@ -245,6 +246,15 @@ pub trait SchedulePolicy: core::fmt::Debug + Send + Sync {
     /// How this policy recovers a preempted request's KV pages.
     fn preemption_mode(&self) -> PreemptionMode {
         PreemptionMode::Recompute
+    }
+
+    /// Which cached prefix the [`PrefixRegistry`](crate::kvcache::
+    /// PrefixRegistry) evicts under pressure — the scheduling policy's
+    /// answer to "which victim" for page reclamation. The conservative
+    /// default never disturbs prefixes pinned by live forks; work-
+    /// conserving policies (SJF) may prefer reclaiming any LRU entry.
+    fn prefix_victim(&self) -> PrefixVictim {
+        PrefixVictim::ColdPrefix
     }
 
     /// Clones the policy behind a box (object-safe `Clone`).
@@ -547,6 +557,12 @@ impl SchedulePolicy for PreemptiveSjf {
 
     fn preemption_mode(&self) -> PreemptionMode {
         self.mode
+    }
+
+    fn prefix_victim(&self) -> PrefixVictim {
+        // SJF already trades sunk work for throughput; its registry
+        // reclaims whichever prefix is stalest, pinned or not.
+        PrefixVictim::ActiveSequence
     }
 
     fn clone_box(&self) -> Box<dyn SchedulePolicy> {

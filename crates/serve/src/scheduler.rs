@@ -17,7 +17,7 @@ use crate::engine::ServingEngine;
 use crate::fault::{
     FaultEvent, FaultKind, FaultPlan, FaultState, RejectReason, Rejection, RetryPolicy,
 };
-use crate::kvcache::KvShards;
+use crate::kvcache::{KvShards, PrefixRegistry, PrefixStats};
 use crate::metrics::{percentile, ClassStats, RobustnessStats};
 use crate::policy::{
     Fcfs, PreemptionMode, PriorityClass, QueuedRequest, RunningRequest, SchedulePolicy, Slo,
@@ -45,6 +45,17 @@ pub struct Request {
     pub priority: PriorityClass,
     /// Optional latency SLO this request is judged against.
     pub slo: Option<Slo>,
+    /// Tenant identity (`None` for legacy tenant-less traffic). Fleet
+    /// routers with session affinity key on this; the modulo-of-id fold
+    /// remains only as their fallback.
+    pub tenant: Option<u64>,
+    /// Hash of the shared prompt prefix this request declares (0 = no
+    /// shared prefix). Requests with equal hashes share their first
+    /// `prefix_len` prompt tokens bit-for-bit.
+    pub prefix_hash: u64,
+    /// Length in tokens of the shared prefix (0 = no shared prefix;
+    /// always `<= prompt_len`).
+    pub prefix_len: u64,
 }
 
 impl Request {
@@ -57,6 +68,9 @@ impl Request {
             output_len,
             priority: PriorityClass::Standard,
             slo: None,
+            tenant: None,
+            prefix_hash: 0,
+            prefix_len: 0,
         }
     }
 
@@ -69,6 +83,20 @@ impl Request {
     /// Attaches a latency SLO (builder style).
     pub fn with_slo(mut self, slo: Slo) -> Self {
         self.slo = Some(slo);
+        self
+    }
+
+    /// Tags the request with a tenant identity (builder style).
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Declares that the first `len` prompt tokens are shared under
+    /// `hash` (builder style). `len` is clamped to the prompt length.
+    pub fn with_shared_prefix(mut self, hash: u64, len: u64) -> Self {
+        self.prefix_hash = hash;
+        self.prefix_len = len.min(self.prompt_len);
         self
     }
 }
@@ -132,6 +160,10 @@ pub struct ScheduleReport {
     /// cached values are exact, so hit rate never changes a report's
     /// timing fields.
     pub step_cache: StepCacheStats,
+    /// Prefix-cache counters: hit rate, prefill tokens saved, CoW pages
+    /// shared, evictions. All-zero (the `Default`) whenever the engine
+    /// runs without prefix caching, preserving bit-compatible reports.
+    pub prefix: PrefixStats,
     /// Name of the policy that produced this report.
     pub policy: String,
 }
@@ -335,6 +367,7 @@ fn finish_report(
     rejections: Vec<Rejection>,
     robustness: RobustnessStats,
     step_cache: StepCacheStats,
+    prefix: PrefixStats,
     completions: Vec<Completion>,
 ) -> ScheduleReport {
     ScheduleReport {
@@ -351,6 +384,7 @@ fn finish_report(
         rejections,
         robustness,
         step_cache,
+        prefix,
         policy: policy.to_string(),
         completions,
     }
@@ -500,6 +534,7 @@ fn apply_due_faults(
     next_event: &mut usize,
     books: &mut FaultBooks,
     stream: &mut Option<StreamBooks>,
+    registry: &mut Option<PrefixRegistry>,
     retry: &RetryPolicy,
     engine: &ServingEngine,
     now: &mut f64,
@@ -528,6 +563,9 @@ fn apply_due_faults(
                 if let Some(s) = stream.as_mut() {
                     s.shards.invalidate_rank(rank);
                 }
+                if let Some(reg) = registry.as_mut() {
+                    reg.invalidate_rank(rank);
+                }
                 // KV shards mirror every sequence across all ranks, so one
                 // dead rank invalidates the whole batch's KV: every running
                 // request is victimized for recompute-prefill (bounded by
@@ -542,6 +580,9 @@ fn apply_due_faults(
                             id: victim.req.id,
                             reason: RejectReason::RetriesExhausted,
                         });
+                        if let Some(reg) = registry.as_mut() {
+                            reg.release(victim.req.id);
+                        }
                         books.resolve_victim(victim.req.id, *now);
                         continue;
                     }
@@ -567,6 +608,9 @@ fn apply_due_faults(
                 let rank = rank % books.state.total_ranks;
                 if let Some(s) = stream.as_mut() {
                     s.shards.repair_rank(rank);
+                }
+                if let Some(reg) = registry.as_mut() {
+                    reg.repair_rank(rank);
                 }
                 if books.state.dead.remove(&rank) && books.state.dead.is_empty() {
                     books.rob.downtime_s += *now - books.state.degraded_since;
@@ -656,6 +700,19 @@ pub fn run_policy_faulted(
     } else {
         None
     };
+    // Prefix caching (opt-in via `EngineBuilder::prefix_caching`): the
+    // registry interns shared-prefix hashes on its own overlay shards and
+    // forks them copy-on-write on hit, so admission charges prefill for
+    // the unshared suffix only. `None` — the default — touches no legacy
+    // code path, keeping caching-off runs bit-identical.
+    let mut registry: Option<PrefixRegistry> = if engine.prefix_caching() {
+        Some(PrefixRegistry::new(
+            engine.kv_shards(),
+            policy.prefix_victim(),
+        ))
+    } else {
+        None
+    };
     let mut pending: Vec<QueuedRequest> = arrivals.into_iter().map(QueuedRequest::fresh).collect();
     let mut running: Vec<RunningRequest> = Vec::new();
     let mut completions = Vec::new();
@@ -695,6 +752,7 @@ pub fn run_policy_faulted(
                     &mut next_event,
                     &mut books,
                     &mut stream,
+                    &mut registry,
                     retry,
                     engine,
                     &mut now,
@@ -788,6 +846,9 @@ pub fn run_policy_faulted(
                             id: q.req.id,
                             reason: RejectReason::PolicyHold,
                         });
+                        if let Some(reg) = registry.as_mut() {
+                            reg.release(q.req.id);
+                        }
                         if !clean {
                             books.resolve_victim(q.req.id, now);
                         }
@@ -927,6 +988,9 @@ pub fn run_policy_faulted(
                         id: cand.req.id,
                         reason: RejectReason::CapacityLost,
                     });
+                    if let Some(reg) = registry.as_mut() {
+                        reg.release(cand.req.id);
+                    }
                     pending.remove(cand_idx);
                     continue 'admit;
                 }
@@ -944,6 +1008,9 @@ pub fn run_policy_faulted(
                             id: cand.req.id,
                             reason: RejectReason::CapacityLost,
                         });
+                        if let Some(reg) = registry.as_mut() {
+                            reg.release(cand.req.id);
+                        }
                         pending.remove(cand_idx);
                         books.resolve_victim(cand.req.id, now);
                     }
@@ -964,11 +1031,26 @@ pub fn run_policy_faulted(
             if !clean {
                 books.resolve_victim(q.req.id, now);
             }
+            // Prefix-cache lookup: a fresh prefill that declares a shared
+            // prefix may fork the cached copy and prefill only the suffix.
+            // Fault-retry recomputes stay full-price — the dead rank's KV
+            // (cached prefixes included) is gone.
+            let mut prefix_saved = 0u64;
+            if let Some(reg) = registry.as_mut() {
+                if q.resume_generated == 0 && (clean || q.retries == 0) {
+                    prefix_saved = reg.admit(
+                        q.req.id,
+                        q.req.prefix_hash,
+                        q.req.prefix_len,
+                        q.req.prompt_len,
+                    );
+                }
+            }
             let mut cost = if !clean && q.retries > 0 {
                 books.rob.recomputed_tokens += q.kv_tokens_on_admit();
                 engine.prefill_ms(1, q.kv_tokens_on_admit()) / 1e3
             } else if q.resume_generated == 0 {
-                engine.prefill_ms(1, q.req.prompt_len) / 1e3
+                engine.prefill_ms(1, q.req.prompt_len.saturating_sub(prefix_saved).max(1)) / 1e3
             } else {
                 match policy.preemption_mode() {
                     PreemptionMode::Recompute => engine.prefill_ms(1, q.kv_tokens_on_admit()) / 1e3,
@@ -1111,6 +1193,9 @@ pub fn run_policy_faulted(
                 if let Some(s) = stream.as_mut() {
                     s.unreserve(f.req.id);
                 }
+                if let Some(reg) = registry.as_mut() {
+                    reg.release(f.req.id);
+                }
                 completions.push(complete(f, now));
                 false
             } else {
@@ -1141,6 +1226,7 @@ pub fn run_policy_faulted(
         rejections,
         books.rob,
         cache_stats,
+        registry.map(|r| r.stats()).unwrap_or_default(),
         completions,
     )
 }
@@ -1300,6 +1386,7 @@ impl<'a> ContinuousBatcher<'a> {
             Vec::new(),
             RobustnessStats::default(),
             cache_stats,
+            PrefixStats::default(),
             completions,
         )
     }
@@ -1367,6 +1454,7 @@ mod tests {
             Vec::new(),
             RobustnessStats::default(),
             StepCacheStats::default(),
+            PrefixStats::default(),
             Vec::new(),
         );
         assert_eq!(report.latency_percentile(0.99), None);

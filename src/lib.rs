@@ -57,7 +57,10 @@ pub mod prelude {
         Fcfs, PreemptionMode, PreemptiveSjf, Priority, PriorityClass, SchedulePolicy, Slo, SloEdf,
     };
     pub use crate::serve::scheduler::{poisson_arrivals, Request, ScheduleReport};
-    pub use crate::serve::workload::{ArrivalMix, TrafficClass, Workload};
-    pub use crate::serve::{GpuCluster, KvShards, PagedKvCache, PipelineKind, PipelineSchedule};
+    pub use crate::serve::workload::{ArrivalMix, Trace, TraceError, TrafficClass, Workload};
+    pub use crate::serve::{
+        GpuCluster, KvShards, PagedKvCache, PipelineKind, PipelineSchedule, PrefixRegistry,
+        PrefixStats, PrefixVictim,
+    };
     pub use crate::tbe::{TbeCompressor, TbeMatrix};
 }

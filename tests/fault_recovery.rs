@@ -594,3 +594,136 @@ fn chunked_pipeline_chaos_resolves_every_request_exactly_once() {
         );
     }
 }
+
+/// Registry-level leak pin: children forked from a cached prefix across a
+/// `RankFail`/`RankRepair` cycle never leak refcounted pages. The dead
+/// rank's allocator resets, post-failure releases skip it without wedging
+/// the survivors, the repaired rank rejoins cold, and once every child is
+/// released the only pages left anywhere are the cached prefix itself.
+#[test]
+fn prefix_forks_survive_rank_fail_repair_without_leaking_pages() {
+    use zipserv::serve::kvcache::PAGE_TOKENS;
+
+    let engine = builder(EngineKind::ZipServ).prefix_caching(true).build();
+    let mut reg = PrefixRegistry::new(engine.kv_shards(), PrefixVictim::ColdPrefix);
+    let ranks = reg.shards().ranks();
+    assert_eq!(ranks, 2, "chaos pin assumes the TP2 deployment");
+    let total: Vec<u64> = (0..ranks)
+        .map(|i| reg.shards().rank(i).total_pages())
+        .collect();
+
+    // Miss materializes the 256-token prefix; two follow-ups fork it CoW.
+    let hash = 0xfeed_f00d;
+    assert_eq!(reg.admit(1, hash, 256, 512), 0);
+    assert_eq!(reg.admit(2, hash, 256, 512), 256);
+    assert_eq!(reg.admit(3, hash, 256, 512), 256);
+    assert_eq!(reg.stats().pages_shared, 2 * 256 / PAGE_TOKENS);
+
+    // Rank 0 dies mid-flight with both forks live: its allocator resets.
+    assert!(reg.invalidate_rank(0));
+    assert_eq!(
+        reg.shards().rank(0).free_pages(),
+        total[0],
+        "dead rank still holds pages after reset"
+    );
+
+    // The forks release *after* the failure — the mirrored release must
+    // skip the dead rank without leaking the survivors' pages.
+    reg.release(2);
+    reg.release(3);
+    reg.release(3); // idempotent: double release is a no-op
+
+    assert!(reg.repair_rank(0));
+    assert_eq!(
+        reg.shards().rank(0).free_pages(),
+        total[0],
+        "repaired rank must rejoin cold"
+    );
+
+    // The cache survives on the living rank: a post-repair request still
+    // hits, forks, and releases cleanly.
+    assert_eq!(reg.admit(4, hash, 256, 512), 256);
+    reg.release(4);
+
+    // With every child gone, the only pages held anywhere are the cached
+    // prefix itself on the rank that never died.
+    let prefix_pages = 256u64.div_ceil(PAGE_TOKENS);
+    assert_eq!(
+        reg.shards().rank(1).free_pages(),
+        total[1] - prefix_pages,
+        "surviving rank leaked fork pages"
+    );
+    assert_eq!(reg.shards().rank(0).free_pages(), total[0]);
+}
+
+/// End-to-end chaos: prefix caching on, multi-tenant traffic, one rank
+/// failure repaired mid-run. Every request resolves exactly once for
+/// every policy, the registry's books balance, and the run is
+/// deterministic — rerunning the same plan is bit-identical.
+#[test]
+fn multi_tenant_chaos_with_prefix_caching_resolves_every_request() {
+    let engine = builder(EngineKind::ZipServ).prefix_caching(true).build();
+    let arrivals = ArrivalMix::multi_tenant_mix().generate(8.0, 80, 7);
+    let all_ids: BTreeSet<u64> = arrivals.iter().map(|r| r.id).collect();
+    let clean = run_policy(&engine, &Fcfs, 64, arrivals.clone());
+    let plan = FaultPlan::new()
+        .rank_fail(0.3 * clean.duration_s, 0)
+        .rank_repair(0.6 * clean.duration_s, 0);
+    let retry = RetryPolicy::default();
+    for policy in all_policies() {
+        let report = run_policy_faulted(
+            &engine,
+            policy.as_ref(),
+            64,
+            arrivals.clone(),
+            &plan,
+            &retry,
+        );
+        let completed: BTreeSet<u64> = report.completions.iter().map(|c| c.id).collect();
+        assert_eq!(
+            completed.len(),
+            report.completions.len(),
+            "{}: a request completed twice",
+            policy.name()
+        );
+        let rejected: BTreeSet<u64> = report.rejected.iter().copied().collect();
+        assert!(
+            completed.is_disjoint(&rejected),
+            "{}: completed AND rejected",
+            policy.name()
+        );
+        let resolved: BTreeSet<u64> = completed.union(&rejected).copied().collect();
+        assert_eq!(
+            resolved,
+            all_ids,
+            "{}: some request vanished",
+            policy.name()
+        );
+        let s = report.prefix;
+        assert_eq!(
+            s.lookups,
+            s.hits + s.misses,
+            "{}: registry books drifted under faults",
+            policy.name()
+        );
+        assert!(
+            s.hits > 0,
+            "{}: chaos run never hit the cache",
+            policy.name()
+        );
+        let again = run_policy_faulted(
+            &engine,
+            policy.as_ref(),
+            64,
+            arrivals.clone(),
+            &plan,
+            &retry,
+        );
+        assert_eq!(
+            report,
+            again,
+            "{}: faulted cached run not deterministic",
+            policy.name()
+        );
+    }
+}
